@@ -1,0 +1,71 @@
+"""Ablations of the design choices DESIGN.md calls out (not in the paper).
+
+* **Closure leakage** — Section 3.1's motivation: splitting constraints
+  naively (instead of splitting objects and re-closing per side) leaks
+  derived constraints into the test fold and inflates the internal score.
+* **Fold count** — the sensitivity of the selected model's quality to the
+  number of folds.
+* **Internal scorer** — class-averaged F-measure vs plain constraint
+  accuracy as the cross-validated score (Section 3.2's design choice).
+"""
+
+import pytest
+
+from repro.datasets import make_aloi_k5_like
+from repro.experiments.ablation import (
+    closure_leakage_ablation,
+    fold_count_ablation,
+    scorer_ablation,
+)
+from repro.experiments.reporting import format_table
+
+
+@pytest.fixture(scope="module")
+def aloi_dataset():
+    return make_aloi_k5_like(random_state=42)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_closure_leakage(benchmark, aloi_dataset, experiment_config, report):
+    result = benchmark.pedantic(
+        closure_leakage_ablation,
+        args=(aloi_dataset,),
+        kwargs={"config": experiment_config, "random_state": 1},
+        rounds=1,
+        iterations=1,
+    )
+    report.append(format_table(["measurement", "value"], result.as_rows(),
+                               title="Ablation: naive constraint split vs object split"))
+    # The naive split sees (implicitly) more information, so its internal
+    # score estimate should not be lower than the leak-free protocol's.
+    assert result.measurements["naive_best_internal_score"] >= (
+        result.measurements["proper_best_internal_score"] - 0.10
+    )
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_fold_count(benchmark, aloi_dataset, experiment_config, report):
+    result = benchmark.pedantic(
+        fold_count_ablation,
+        args=(aloi_dataset,),
+        kwargs={"fold_counts": (2, 3, 5, 10), "config": experiment_config, "random_state": 2},
+        rounds=1,
+        iterations=1,
+    )
+    report.append(format_table(["measurement", "value"], result.as_rows(),
+                               title="Ablation: number of cross-validation folds"))
+    assert all(0.0 <= value <= 1.0 for value in result.measurements.values())
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_internal_scorer(benchmark, aloi_dataset, experiment_config, report):
+    result = benchmark.pedantic(
+        scorer_ablation,
+        args=(aloi_dataset,),
+        kwargs={"config": experiment_config, "random_state": 3},
+        rounds=1,
+        iterations=1,
+    )
+    report.append(format_table(["measurement", "value"], result.as_rows(),
+                               title="Ablation: internal scoring function"))
+    assert "average_f" in result.measurements

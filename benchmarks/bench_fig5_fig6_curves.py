@@ -1,0 +1,49 @@
+"""Figures 5 and 6: internal vs external score curves, label scenario.
+
+Figure 5: FOSC-OPTICSDend over MinPts on a representative ALOI data set with
+10% of labelled objects; Figure 6: MPCKMeans over k on the same data set.
+The paper reports correlation coefficients of 0.99 and 0.94 respectively;
+the benchmark asserts a clearly positive correlation and prints both curves.
+"""
+
+import pytest
+
+from repro.experiments import parameter_curves
+from repro.experiments.reporting import format_curves
+
+
+@pytest.mark.paper
+@pytest.mark.benchmark(group="figures-label-scenario")
+def test_figure5_fosc_label_curves(benchmark, experiment_config, report):
+    curves = benchmark.pedantic(
+        parameter_curves,
+        args=("fosc", "labels"),
+        kwargs={"amount": 0.10, "config": experiment_config, "random_state": 5},
+        rounds=1,
+        iterations=1,
+    )
+    report.append(format_curves(curves, title="Figure 5 (FOSC-OPTICSDend, label scenario)"))
+    assert len(curves.parameter_values) == len(experiment_config.minpts_range)
+    assert max(curves.external_scores) > min(curves.external_scores), (
+        "the external quality should depend on MinPts"
+    )
+    assert curves.correlation > 0.3, (
+        "internal and external scores should correlate on ALOI (paper: 0.99)"
+    )
+
+
+@pytest.mark.paper
+@pytest.mark.benchmark(group="figures-label-scenario")
+def test_figure6_mpck_label_curves(benchmark, experiment_config, report):
+    curves = benchmark.pedantic(
+        parameter_curves,
+        args=("mpck", "labels"),
+        kwargs={"amount": 0.10, "config": experiment_config, "random_state": 6},
+        rounds=1,
+        iterations=1,
+    )
+    report.append(format_curves(curves, title="Figure 6 (MPCKMeans, label scenario)"))
+    assert curves.parameter_values[0] == 2
+    assert curves.correlation > 0.2, (
+        "internal and external scores should correlate on ALOI (paper: 0.94)"
+    )

@@ -1,0 +1,41 @@
+"""Figures 7 and 8: internal vs external score curves, constraint scenario.
+
+Figure 7: FOSC-OPTICSDend over MinPts on a representative ALOI data set with
+10% of the constraint pool; Figure 8: MPCKMeans over k.  The paper reports
+correlation coefficients of 0.98 and 0.99.
+"""
+
+import pytest
+
+from repro.experiments import parameter_curves
+from repro.experiments.reporting import format_curves
+
+
+@pytest.mark.paper
+@pytest.mark.benchmark(group="figures-constraint-scenario")
+def test_figure7_fosc_constraint_curves(benchmark, experiment_config, report):
+    curves = benchmark.pedantic(
+        parameter_curves,
+        args=("fosc", "constraints"),
+        kwargs={"amount": 0.10, "config": experiment_config, "random_state": 7},
+        rounds=1,
+        iterations=1,
+    )
+    report.append(format_curves(curves, title="Figure 7 (FOSC-OPTICSDend, constraint scenario)"))
+    assert len(curves.internal_scores) == len(curves.parameter_values)
+    assert all(0.0 <= score <= 1.0 for score in curves.internal_scores)
+
+
+@pytest.mark.paper
+@pytest.mark.benchmark(group="figures-constraint-scenario")
+def test_figure8_mpck_constraint_curves(benchmark, experiment_config, report):
+    curves = benchmark.pedantic(
+        parameter_curves,
+        args=("mpck", "constraints"),
+        kwargs={"amount": 0.10, "config": experiment_config, "random_state": 8},
+        rounds=1,
+        iterations=1,
+    )
+    report.append(format_curves(curves, title="Figure 8 (MPCKMeans, constraint scenario)"))
+    assert curves.parameter_name == "k"
+    assert all(0.0 <= score <= 1.0 for score in curves.external_scores)

@@ -1,0 +1,61 @@
+"""Tables 14–16: MPCKMeans, constraint scenario — CVCP vs expected vs Silhouette.
+
+On ALOI, CVCP beats both references for every amount of constraints (e.g.
+0.73 vs 0.62 vs 0.58 at 20% of the pool); elsewhere the methods are closer,
+matching the paper's observation that the advantage of model selection
+shrinks when no parameter value yields a good clustering.
+"""
+
+import pytest
+
+from repro.experiments import comparison_table
+from repro.experiments.reporting import format_comparison_table
+
+
+def _run(benchmark, experiment_config, amount, seed):
+    return benchmark.pedantic(
+        comparison_table,
+        args=("mpck", "constraints", amount),
+        kwargs={"config": experiment_config, "random_state": seed},
+        rounds=1,
+        iterations=1,
+    )
+
+
+@pytest.mark.paper
+@pytest.mark.benchmark(group="tables-mpck-constraints")
+def test_table14_mpck_constraints_10_percent(benchmark, experiment_config, report):
+    # At 10% of the pool only a handful of constraints reach the algorithm;
+    # with the quick configuration's trial count the CVCP selection is close
+    # to noise there (see EXPERIMENTS.md), so only structural properties and
+    # value ranges are asserted for this table.
+    table = _run(benchmark, experiment_config, 0.10, 214)
+    report.append(format_comparison_table(table, title="Table 14 (MPCKMeans, constraints, 10%)"))
+    for row in table.rows:
+        assert 0.0 <= row.cvcp_mean <= 1.0
+        assert 0.0 <= row.expected_mean <= 1.0
+        assert 0.0 <= row.silhouette_mean <= 1.0
+
+
+@pytest.mark.paper
+@pytest.mark.benchmark(group="tables-mpck-constraints")
+def test_table15_mpck_constraints_20_percent(benchmark, experiment_config, report):
+    table = _run(benchmark, experiment_config, 0.20, 215)
+    report.append(format_comparison_table(table, title="Table 15 (MPCKMeans, constraints, 20%)"))
+    aloi = table.row_for("ALOI")
+    assert aloi.cvcp_mean >= aloi.expected_mean - 0.20, (
+        "CVCP should stay in the vicinity of the guessing reference on ALOI "
+        "even with the tiny quick-configuration constraint sets (paper: 0.73 vs 0.62)"
+    )
+
+
+@pytest.mark.paper
+@pytest.mark.benchmark(group="tables-mpck-constraints")
+def test_table16_mpck_constraints_50_percent(benchmark, experiment_config, report):
+    table = _run(benchmark, experiment_config, 0.50, 216)
+    report.append(format_comparison_table(table, title="Table 16 (MPCKMeans, constraints, 50%)"))
+    aloi = table.row_for("ALOI")
+    assert aloi.cvcp_mean >= aloi.expected_mean - 0.10, (
+        "with half of the pool the CVCP selection should be competitive with "
+        "guessing k on ALOI (paper: 0.73 vs 0.62)"
+    )

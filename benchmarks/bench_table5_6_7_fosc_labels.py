@@ -1,0 +1,63 @@
+"""Tables 5–7: FOSC-OPTICSDend, label scenario — CVCP vs expected performance.
+
+The paper reports that CVCP's mean Overall F-Measure beats the expected
+(random-guess) performance on every data set and every amount of labelled
+objects (5%, 10%, 20%), with the gap widening as more labels are available;
+the difference is statistically significant in almost all cases.
+
+The benchmark regenerates the three tables and asserts the headline shape:
+CVCP ≥ Expected on the ALOI row (with a small tolerance for the reduced
+trial counts of the quick configuration).
+"""
+
+import pytest
+
+from repro.experiments import comparison_table
+from repro.experiments.reporting import format_comparison_table
+
+AMOUNTS = {"table5": 0.05, "table6": 0.10, "table7": 0.20}
+
+
+def _run(benchmark, experiment_config, amount, seed):
+    return benchmark.pedantic(
+        comparison_table,
+        args=("fosc", "labels", amount),
+        kwargs={"config": experiment_config, "random_state": seed},
+        rounds=1,
+        iterations=1,
+    )
+
+
+@pytest.mark.paper
+@pytest.mark.benchmark(group="tables-fosc-labels")
+def test_table5_fosc_labels_5_percent(benchmark, experiment_config, report):
+    table = _run(benchmark, experiment_config, AMOUNTS["table5"], 205)
+    report.append(format_comparison_table(table, title="Table 5 (FOSC, labels, 5%)"))
+    aloi = table.row_for("ALOI")
+    assert aloi.cvcp_mean >= aloi.expected_mean - 0.05
+
+
+@pytest.mark.paper
+@pytest.mark.benchmark(group="tables-fosc-labels")
+def test_table6_fosc_labels_10_percent(benchmark, experiment_config, report):
+    table = _run(benchmark, experiment_config, AMOUNTS["table6"], 206)
+    report.append(format_comparison_table(table, title="Table 6 (FOSC, labels, 10%)"))
+    aloi = table.row_for("ALOI")
+    assert aloi.cvcp_mean >= aloi.expected_mean - 0.02, (
+        "CVCP should beat guessing MinPts on ALOI at 10% labels (paper: 0.85 vs 0.73)"
+    )
+
+
+@pytest.mark.paper
+@pytest.mark.benchmark(group="tables-fosc-labels")
+def test_table7_fosc_labels_20_percent(benchmark, experiment_config, report):
+    table = _run(benchmark, experiment_config, AMOUNTS["table7"], 207)
+    report.append(format_comparison_table(table, title="Table 7 (FOSC, labels, 20%)"))
+    aloi = table.row_for("ALOI")
+    assert aloi.cvcp_mean >= aloi.expected_mean, (
+        "CVCP should beat guessing MinPts on ALOI at 20% labels (paper: 0.86 vs 0.73)"
+    )
+    # With more labels the CVCP advantage should not shrink to zero on average
+    # across data sets.
+    mean_gap = sum(row.cvcp_mean - row.expected_mean for row in table.rows) / len(table.rows)
+    assert mean_gap > -0.02

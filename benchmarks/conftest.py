@@ -1,0 +1,50 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  By default a
+scaled-down configuration is used (:data:`repro.experiments.QUICK_CONFIG`):
+fewer trials, a handful of ALOI data sets and a reduced MPCK iteration
+budget — enough to reproduce the *shape* of every result in minutes on a
+laptop.  Set ``REPRO_FULL=1`` to run the paper-scale configuration (50
+trials, 100 ALOI data sets), which takes hours.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+The regenerated tables are printed to stdout (use ``-s`` to see them inline;
+without ``-s`` pytest shows them for failing benchmarks only, and the
+pytest-benchmark summary table always reports the timings).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import default_config
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "paper: benchmark reproducing a paper table/figure")
+
+
+@pytest.fixture(scope="session")
+def experiment_config():
+    """The experiment configuration shared by all benchmarks."""
+    return default_config()
+
+
+@pytest.fixture(scope="session")
+def report(request):
+    """Collect rendered tables and print them at the end of the session."""
+    sections: list[str] = []
+    yield sections
+    if sections:
+        terminal = request.config.pluginmanager.get_plugin("terminalreporter")
+        if terminal is not None:
+            terminal.write_line("")
+            terminal.write_line("=" * 78)
+            terminal.write_line("Reproduced tables and figures")
+            terminal.write_line("=" * 78)
+            for section in sections:
+                terminal.write_line(section)
+                terminal.write_line("-" * 78)

@@ -1,0 +1,156 @@
+"""Regenerate the paper's tables and figures from the command line.
+
+By default this runs the scaled-down quick configuration (a couple of
+minutes); pass ``--full`` (or set ``REPRO_FULL=1``) for the paper-scale
+configuration with 50 trials per cell and 100 ALOI data sets, which takes
+hours.  A subset of experiments can be selected with ``--only``.
+
+Examples::
+
+    python examples/reproduce_paper_tables.py
+    python examples/reproduce_paper_tables.py --only figures
+    python examples/reproduce_paper_tables.py --only table1 table5 figure9
+    python examples/reproduce_paper_tables.py --full --trials 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    PAPER_CONFIG,
+    QUICK_CONFIG,
+    aloi_distribution,
+    comparison_table,
+    correlation_table,
+    parameter_curves,
+)
+from repro.experiments.reporting import (
+    format_boxplot_summary,
+    format_comparison_table,
+    format_correlation_table,
+    format_curves,
+)
+
+CORRELATION_TABLES = {
+    "table1": ("fosc", "labels"),
+    "table2": ("mpck", "labels"),
+    "table3": ("fosc", "constraints"),
+    "table4": ("mpck", "constraints"),
+}
+COMPARISON_TABLES = {
+    "table5": ("fosc", "labels", 0.05),
+    "table6": ("fosc", "labels", 0.10),
+    "table7": ("fosc", "labels", 0.20),
+    "table8": ("mpck", "labels", 0.05),
+    "table9": ("mpck", "labels", 0.10),
+    "table10": ("mpck", "labels", 0.20),
+    "table11": ("fosc", "constraints", 0.10),
+    "table12": ("fosc", "constraints", 0.20),
+    "table13": ("fosc", "constraints", 0.50),
+    "table14": ("mpck", "constraints", 0.10),
+    "table15": ("mpck", "constraints", 0.20),
+    "table16": ("mpck", "constraints", 0.50),
+}
+CURVE_FIGURES = {
+    "figure5": ("fosc", "labels"),
+    "figure6": ("mpck", "labels"),
+    "figure7": ("fosc", "constraints"),
+    "figure8": ("mpck", "constraints"),
+}
+BOXPLOT_FIGURES = {
+    "figure9": ("fosc", "labels"),
+    "figure10": ("mpck", "labels"),
+    "figure11": ("fosc", "constraints"),
+    "figure12": ("mpck", "constraints"),
+}
+GROUPS = {
+    "figures": list(CURVE_FIGURES) + list(BOXPLOT_FIGURES),
+    "correlation": list(CORRELATION_TABLES),
+    "comparison": list(COMPARISON_TABLES),
+    "all": list(CURVE_FIGURES) + list(CORRELATION_TABLES)
+    + list(COMPARISON_TABLES) + list(BOXPLOT_FIGURES),
+}
+
+
+def parse_args(argv: list[str]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--full", action="store_true",
+                        help="use the paper-scale configuration (50 trials, 100 ALOI data sets)")
+    parser.add_argument("--trials", type=int, default=None,
+                        help="override the number of trials per cell")
+    parser.add_argument("--seed", type=int, default=None, help="override the master seed")
+    parser.add_argument("--only", nargs="+", default=["all"],
+                        help="experiment ids (table1..table16, figure5..figure12) or groups "
+                             "(figures, correlation, comparison, all)")
+    return parser.parse_args(argv)
+
+
+def resolve_targets(only: list[str]) -> list[str]:
+    targets: list[str] = []
+    for item in only:
+        key = item.lower()
+        if key in GROUPS:
+            targets.extend(GROUPS[key])
+        elif key in GROUPS["all"]:
+            targets.append(key)
+        else:
+            raise SystemExit(f"unknown experiment id {item!r}; "
+                             f"choose from {', '.join(GROUPS['all'] + list(GROUPS))}")
+    seen: set[str] = set()
+    ordered = []
+    for target in targets:
+        if target not in seen:
+            seen.add(target)
+            ordered.append(target)
+    return ordered
+
+
+def main(argv: list[str] | None = None) -> None:
+    args = parse_args(argv if argv is not None else sys.argv[1:])
+    config = PAPER_CONFIG if args.full else QUICK_CONFIG
+    overrides = {}
+    if args.trials is not None:
+        overrides["n_trials"] = args.trials
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if overrides:
+        config = config.with_overrides(**overrides)
+
+    targets = resolve_targets(args.only)
+    print(f"configuration: {'paper-scale' if args.full else 'quick'} "
+          f"({config.n_trials} trials, {config.n_aloi_datasets} ALOI data sets, "
+          f"{config.n_folds} folds)\n")
+
+    for target in targets:
+        started = time.time()
+        if target in CURVE_FIGURES:
+            algorithm, scenario = CURVE_FIGURES[target]
+            curves = parameter_curves(algorithm, scenario, config=config)
+            print(format_curves(curves, title=f"{target.capitalize()} "
+                                              f"({algorithm.upper()}, {scenario} scenario)"))
+        elif target in CORRELATION_TABLES:
+            algorithm, scenario = CORRELATION_TABLES[target]
+            table = correlation_table(algorithm, scenario, config=config)
+            print(format_correlation_table(table, title=f"{target.capitalize()} "
+                                                        f"({algorithm.upper()}, {scenario})"))
+        elif target in COMPARISON_TABLES:
+            algorithm, scenario, amount = COMPARISON_TABLES[target]
+            table = comparison_table(algorithm, scenario, amount, config=config)
+            print(format_comparison_table(table, title=f"{target.capitalize()} "
+                                                       f"({algorithm.upper()}, {scenario}, "
+                                                       f"{int(amount * 100)}%)"))
+        else:
+            algorithm, scenario = BOXPLOT_FIGURES[target]
+            distribution = aloi_distribution(algorithm, scenario, config=config)
+            print(format_boxplot_summary(distribution,
+                                         title=f"{target.capitalize()} "
+                                               f"({algorithm.upper()}, {scenario}, ALOI)"))
+        print(f"[{target}: {time.time() - started:.1f}s]\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setup shim for environments without the `wheel` package.
+
+``pip install -e . --no-build-isolation`` falls back to this legacy path
+when PEP 517 editable builds are unavailable.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,142 @@
+"""Distance computations shared by the clustering algorithms.
+
+Everything is computed with dense numpy operations; the data sets in the
+paper are small (at most a few hundred objects), so the O(n²) memory of a
+full distance matrix is not a concern and the vectorised formulation is the
+fastest pure-Python option.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_array_2d
+
+
+def euclidean_distances(X: np.ndarray, Y: np.ndarray | None = None, *, squared: bool = False) -> np.ndarray:
+    """Pairwise Euclidean distances between the rows of ``X`` and ``Y``.
+
+    Parameters
+    ----------
+    X:
+        ``(n, d)`` array.
+    Y:
+        ``(m, d)`` array; defaults to ``X``.
+    squared:
+        If true, return squared distances (saves the square root).
+
+    Returns
+    -------
+    ndarray
+        ``(n, m)`` distance matrix.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    Y = X if Y is None else np.asarray(Y, dtype=np.float64)
+    x_sq = np.einsum("ij,ij->i", X, X)
+    y_sq = np.einsum("ij,ij->i", Y, Y)
+    cross = X @ Y.T
+    squared_distances = x_sq[:, None] + y_sq[None, :] - 2.0 * cross
+    # Numerical noise can push tiny distances slightly negative.
+    np.maximum(squared_distances, 0.0, out=squared_distances)
+    if Y is X:
+        np.fill_diagonal(squared_distances, 0.0)
+    if squared:
+        return squared_distances
+    return np.sqrt(squared_distances, out=squared_distances)
+
+
+def pairwise_distances(X: np.ndarray, metric: str = "euclidean") -> np.ndarray:
+    """Full ``(n, n)`` distance matrix for the rows of ``X``.
+
+    Parameters
+    ----------
+    X:
+        ``(n, d)`` data matrix.
+    metric:
+        ``"euclidean"`` (default), ``"sqeuclidean"``, ``"manhattan"`` or
+        ``"cosine"``.
+    """
+    X = check_array_2d(X)
+    if metric == "euclidean":
+        return euclidean_distances(X)
+    if metric == "sqeuclidean":
+        return euclidean_distances(X, squared=True)
+    if metric == "manhattan":
+        return np.abs(X[:, None, :] - X[None, :, :]).sum(axis=2)
+    if metric == "cosine":
+        norms = np.linalg.norm(X, axis=1)
+        norms = np.where(norms == 0.0, 1.0, norms)
+        normalised = X / norms[:, None]
+        similarity = np.clip(normalised @ normalised.T, -1.0, 1.0)
+        distances = 1.0 - similarity
+        np.fill_diagonal(distances, 0.0)
+        return distances
+    raise ValueError(f"unknown metric {metric!r}")
+
+
+def diagonal_mahalanobis_distances(
+    X: np.ndarray,
+    centers: np.ndarray,
+    weights: np.ndarray,
+    *,
+    squared: bool = True,
+) -> np.ndarray:
+    """Distances of every point to every center under per-center diagonal metrics.
+
+    MPCK-Means learns one diagonal metric ``A_h = diag(weights[h])`` per
+    cluster ``h``; the (squared) distance of point ``x`` to center ``m_h``
+    is ``(x - m_h)^T A_h (x - m_h)``.
+
+    Parameters
+    ----------
+    X:
+        ``(n, d)`` data matrix.
+    centers:
+        ``(k, d)`` cluster centers.
+    weights:
+        ``(k, d)`` positive diagonal metric weights, one row per cluster.
+    squared:
+        Return squared distances (default, as used in the MPCK objective).
+
+    Returns
+    -------
+    ndarray
+        ``(n, k)`` distance matrix.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    centers = np.asarray(centers, dtype=np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    if centers.shape != weights.shape:
+        raise ValueError(
+            f"centers and weights must have the same shape, got {centers.shape} and {weights.shape}"
+        )
+    n_clusters = centers.shape[0]
+    distances = np.empty((X.shape[0], n_clusters), dtype=np.float64)
+    for h in range(n_clusters):
+        diff = X - centers[h]
+        distances[:, h] = np.einsum("ij,j,ij->i", diff, weights[h], diff)
+    np.maximum(distances, 0.0, out=distances)
+    if squared:
+        return distances
+    return np.sqrt(distances, out=distances)
+
+
+def weighted_squared_distance(x: np.ndarray, y: np.ndarray, weights: np.ndarray) -> float:
+    """Squared distance between two vectors under a diagonal metric."""
+    diff = np.asarray(x, dtype=np.float64) - np.asarray(y, dtype=np.float64)
+    return float(np.dot(diff * np.asarray(weights, dtype=np.float64), diff))
+
+
+def k_nearest_distances(distance_matrix: np.ndarray, k: int) -> np.ndarray:
+    """Distance to the ``k``-th nearest neighbour for every object.
+
+    The object itself is counted as its own 1st neighbour (distance 0), so
+    ``k_nearest_distances(D, min_pts)`` yields exactly the OPTICS/HDBSCAN
+    core distance for ``MinPts = k``.
+    """
+    distance_matrix = np.asarray(distance_matrix, dtype=np.float64)
+    n = distance_matrix.shape[0]
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, {n}], got {k}")
+    partitioned = np.partition(distance_matrix, k - 1, axis=1)
+    return partitioned[:, k - 1]

@@ -1,0 +1,337 @@
+"""Density-based cluster hierarchies (the "OPTICSDend" dendrogram).
+
+The FOSC-OPTICSDend algorithm of the CVCP paper extracts a flat clustering
+from the dendrogram induced by OPTICS.  That dendrogram is equivalent to a
+single-linkage tree built over the *mutual reachability distance*
+
+    d_mreach(a, b) = max(core_k(a), core_k(b), d(a, b))
+
+with ``core_k`` the distance to the ``MinPts``-th nearest neighbour (this is
+the construction used by HDBSCAN*, whose authors are the FOSC authors).  The
+module provides:
+
+* :func:`mutual_reachability` — the transformed distance matrix;
+* :func:`minimum_spanning_tree` — a dense Prim MST over it;
+* :func:`build_single_linkage_tree` — the dendrogram as merge records;
+* :class:`CondensedTree` — the hierarchy simplified with a minimum cluster
+  size, exposing per-cluster membership, stability and the parent/child
+  structure FOSC's dynamic program runs on;
+* :class:`DensityHierarchy` — a convenience facade tying the steps together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.clustering.distances import k_nearest_distances, pairwise_distances
+from repro.utils.disjoint_set import DisjointSet
+from repro.utils.validation import check_array_2d, check_positive_int
+
+
+def mutual_reachability(distances: np.ndarray, core_distances: np.ndarray) -> np.ndarray:
+    """Mutual reachability distance matrix.
+
+    Parameters
+    ----------
+    distances:
+        ``(n, n)`` raw distance matrix.
+    core_distances:
+        ``(n,)`` core distance per object.
+    """
+    distances = np.asarray(distances, dtype=np.float64)
+    core_distances = np.asarray(core_distances, dtype=np.float64)
+    mreach = np.maximum(distances, core_distances[:, None])
+    np.maximum(mreach, core_distances[None, :], out=mreach)
+    np.fill_diagonal(mreach, 0.0)
+    return mreach
+
+
+def minimum_spanning_tree(distances: np.ndarray) -> np.ndarray:
+    """Dense Prim minimum spanning tree.
+
+    Returns
+    -------
+    ndarray
+        ``(n-1, 3)`` array of edges ``(u, v, weight)`` sorted by weight.
+    """
+    distances = np.asarray(distances, dtype=np.float64)
+    n_samples = distances.shape[0]
+    if n_samples < 2:
+        return np.empty((0, 3), dtype=np.float64)
+
+    in_tree = np.zeros(n_samples, dtype=bool)
+    best_distance = np.full(n_samples, np.inf)
+    best_source = np.full(n_samples, -1, dtype=np.int64)
+
+    in_tree[0] = True
+    best_distance[:] = distances[0]
+    best_source[:] = 0
+    best_distance[0] = np.inf
+
+    edges = np.empty((n_samples - 1, 3), dtype=np.float64)
+    for edge_index in range(n_samples - 1):
+        candidate = int(np.argmin(np.where(in_tree, np.inf, best_distance)))
+        edges[edge_index] = (best_source[candidate], candidate, best_distance[candidate])
+        in_tree[candidate] = True
+        improved = ~in_tree & (distances[candidate] < best_distance)
+        best_distance[improved] = distances[candidate][improved]
+        best_source[improved] = candidate
+    order = np.argsort(edges[:, 2], kind="stable")
+    return edges[order]
+
+
+def build_single_linkage_tree(mst_edges: np.ndarray, n_samples: int) -> np.ndarray:
+    """Convert sorted MST edges into scipy-style merge records.
+
+    Returns
+    -------
+    ndarray
+        ``(n-1, 4)`` array; row ``m`` records the merge creating node
+        ``n_samples + m`` from nodes ``(left, right)`` at ``distance`` with
+        ``size`` leaves, exactly like :func:`scipy.cluster.hierarchy.linkage`
+        output for single linkage.
+    """
+    mst_edges = np.asarray(mst_edges, dtype=np.float64)
+    if mst_edges.shape[0] != n_samples - 1:
+        raise ValueError(
+            f"expected {n_samples - 1} MST edges for {n_samples} samples, got {mst_edges.shape[0]}"
+        )
+    ds = DisjointSet(range(n_samples))
+    current_node: dict[int, int] = {index: index for index in range(n_samples)}
+    sizes: dict[int, int] = {index: 1 for index in range(n_samples)}
+    merges = np.empty((n_samples - 1, 4), dtype=np.float64)
+
+    next_node = n_samples
+    for row, (u, v, weight) in enumerate(mst_edges):
+        root_u = ds.find(int(u))
+        root_v = ds.find(int(v))
+        node_u = current_node[root_u]
+        node_v = current_node[root_v]
+        merged_size = sizes[node_u] + sizes[node_v]
+        merges[row] = (node_u, node_v, weight, merged_size)
+        new_root = ds.union(root_u, root_v)
+        current_node[new_root] = next_node
+        sizes[next_node] = merged_size
+        next_node += 1
+    return merges
+
+
+@dataclass
+class CondensedCluster:
+    """One cluster of the condensed hierarchy.
+
+    Attributes
+    ----------
+    cluster_id:
+        Identifier within the condensed tree (0 is the root).
+    parent:
+        Identifier of the parent cluster (``-1`` for the root).
+    birth_lambda:
+        Density level (``1 / distance``) at which the cluster appears.
+    children:
+        Identifiers of the child clusters (empty for leaves).
+    split_lambda:
+        Density level at which the cluster splits into its children
+        (``inf`` if it never splits).
+    point_lambdas:
+        ``{point: lambda}`` for points that leave the cluster individually
+        (fall out as noise of this cluster) before any split.
+    members:
+        All points contained in the cluster (its own fall-outs plus every
+        point of every descendant cluster).  This is the flat cluster one
+        obtains by *selecting* this node.
+    """
+
+    cluster_id: int
+    parent: int
+    birth_lambda: float
+    children: list[int] = field(default_factory=list)
+    split_lambda: float = np.inf
+    point_lambdas: dict[int, float] = field(default_factory=dict)
+    members: set[int] = field(default_factory=set)
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+
+class CondensedTree:
+    """Hierarchy simplified with a minimum cluster size.
+
+    The construction follows HDBSCAN*: walking the single-linkage dendrogram
+    from the root towards the leaves, a split is *significant* only when
+    both sides contain at least ``min_cluster_size`` points; otherwise the
+    smaller side simply "falls out" of the current cluster at that density
+    level.  Each significant cluster records its stability
+    ``sum_p (lambda_p - lambda_birth)``, the classic excess-of-mass measure
+    used for unsupervised extraction.
+    """
+
+    def __init__(self, merges: np.ndarray, n_samples: int, min_cluster_size: int) -> None:
+        self.n_samples = n_samples
+        self.min_cluster_size = check_positive_int(
+            min_cluster_size, name="min_cluster_size", minimum=2
+        )
+        self._merges = np.asarray(merges, dtype=np.float64)
+        self.clusters: dict[int, CondensedCluster] = {}
+        self._build()
+
+    # -- construction ---------------------------------------------------
+    def _node_children(self, node: int) -> tuple[int, int, float]:
+        row = self._merges[node - self.n_samples]
+        return int(row[0]), int(row[1]), float(row[2])
+
+    def _node_size(self, node: int) -> int:
+        if node < self.n_samples:
+            return 1
+        return int(self._merges[node - self.n_samples][3])
+
+    def _node_leaves(self, node: int) -> list[int]:
+        stack = [node]
+        leaves: list[int] = []
+        while stack:
+            current = stack.pop()
+            if current < self.n_samples:
+                leaves.append(current)
+            else:
+                left, right, _ = self._node_children(current)
+                stack.extend((left, right))
+        return leaves
+
+    def _build(self) -> None:
+        root_node = self.n_samples + self._merges.shape[0] - 1 if self._merges.shape[0] else 0
+        root = CondensedCluster(cluster_id=0, parent=-1, birth_lambda=0.0)
+        self.clusters[0] = root
+        if self._merges.shape[0] == 0:
+            root.members = set(range(self.n_samples))
+            root.point_lambdas = {point: np.inf for point in range(self.n_samples)}
+            return
+
+        # Stack of (single-linkage node, condensed cluster id it belongs to).
+        stack: list[tuple[int, int]] = [(root_node, 0)]
+        next_cluster_id = 1
+        while stack:
+            node, cluster_id = stack.pop()
+            cluster = self.clusters[cluster_id]
+            if node < self.n_samples:
+                cluster.point_lambdas[node] = np.inf
+                continue
+            left, right, distance = self._node_children(node)
+            level = np.inf if distance <= 0 else 1.0 / distance
+            left_size = self._node_size(left)
+            right_size = self._node_size(right)
+            big_left = left_size >= self.min_cluster_size
+            big_right = right_size >= self.min_cluster_size
+
+            if big_left and big_right:
+                cluster.split_lambda = min(cluster.split_lambda, level)
+                for child_node in (left, right):
+                    child = CondensedCluster(
+                        cluster_id=next_cluster_id, parent=cluster_id, birth_lambda=level
+                    )
+                    self.clusters[next_cluster_id] = child
+                    cluster.children.append(next_cluster_id)
+                    stack.append((child_node, next_cluster_id))
+                    next_cluster_id += 1
+            elif big_left or big_right:
+                keep, drop = (left, right) if big_left else (right, left)
+                for point in self._node_leaves(drop):
+                    cluster.point_lambdas[point] = level
+                stack.append((keep, cluster_id))
+            else:
+                for point in self._node_leaves(left) + self._node_leaves(right):
+                    cluster.point_lambdas[point] = level
+
+        self._fill_members()
+
+    def _fill_members(self) -> None:
+        # Children were created after their parents, so reversed id order is
+        # a valid bottom-up order.
+        for cluster_id in sorted(self.clusters, reverse=True):
+            cluster = self.clusters[cluster_id]
+            cluster.members.update(cluster.point_lambdas)
+            for child_id in cluster.children:
+                cluster.members.update(self.clusters[child_id].members)
+
+    # -- queries ----------------------------------------------------------
+    @property
+    def root(self) -> CondensedCluster:
+        return self.clusters[0]
+
+    def leaves(self) -> list[int]:
+        """Identifiers of clusters without children."""
+        return [cid for cid, cluster in self.clusters.items() if not cluster.children]
+
+    def stability(self, cluster_id: int) -> float:
+        """Excess-of-mass stability of a cluster (HDBSCAN*'s objective)."""
+        cluster = self.clusters[cluster_id]
+        birth = cluster.birth_lambda
+        end_level = cluster.split_lambda
+        total = 0.0
+        for point, level in cluster.point_lambdas.items():
+            total += min(level, end_level) - birth if np.isfinite(min(level, end_level)) else 0.0
+        # Points passed down to children leave this cluster at the split level.
+        n_passed = sum(self.clusters[child].size for child in cluster.children)
+        if n_passed and np.isfinite(end_level):
+            total += n_passed * (end_level - birth)
+        return float(total)
+
+    def selectable_clusters(self) -> list[int]:
+        """Every cluster except the root (the root is the trivial solution)."""
+        return [cid for cid in self.clusters if cid != 0]
+
+    def labels_for_selection(self, selected: list[int]) -> np.ndarray:
+        """Flat labels for a set of selected clusters; unassigned points are noise."""
+        labels = np.full(self.n_samples, -1, dtype=np.int64)
+        for flat_label, cluster_id in enumerate(sorted(selected)):
+            for point in self.clusters[cluster_id].members:
+                labels[point] = flat_label
+        return labels
+
+
+class DensityHierarchy:
+    """Facade: data matrix → condensed density hierarchy.
+
+    Parameters
+    ----------
+    min_pts:
+        Core-distance smoothing parameter (the paper's MinPts).
+    min_cluster_size:
+        Minimum size for a split to create new clusters; defaults to
+        ``min_pts``, matching common HDBSCAN*/FOSC practice.
+    metric:
+        Distance metric.
+    """
+
+    def __init__(
+        self,
+        min_pts: int,
+        *,
+        min_cluster_size: int | None = None,
+        metric: str = "euclidean",
+    ) -> None:
+        self.min_pts = check_positive_int(min_pts, name="min_pts")
+        self.min_cluster_size = (
+            max(2, min_pts) if min_cluster_size is None
+            else check_positive_int(min_cluster_size, name="min_cluster_size", minimum=2)
+        )
+        self.metric = metric
+
+    def fit(self, X: np.ndarray) -> "DensityHierarchy":
+        """Build the hierarchy for ``X``."""
+        X = check_array_2d(X)
+        if self.min_pts > X.shape[0]:
+            raise ValueError(
+                f"min_pts={self.min_pts} exceeds the number of samples {X.shape[0]}"
+            )
+        distances = pairwise_distances(X, metric=self.metric)
+        self.core_distances_ = k_nearest_distances(distances, self.min_pts)
+        self.mutual_reachability_ = mutual_reachability(distances, self.core_distances_)
+        self.mst_edges_ = minimum_spanning_tree(self.mutual_reachability_)
+        self.single_linkage_tree_ = build_single_linkage_tree(self.mst_edges_, X.shape[0])
+        self.condensed_tree_ = CondensedTree(
+            self.single_linkage_tree_, X.shape[0], self.min_cluster_size
+        )
+        return self

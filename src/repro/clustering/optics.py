@@ -1,0 +1,166 @@
+"""OPTICS: Ordering Points To Identify the Clustering Structure.
+
+Ankerst, Breunig, Kriegel & Sander, SIGMOD 1999.  OPTICS produces a linear
+ordering of the data together with a *reachability distance* per object; the
+valleys of the reachability plot correspond to density-based clusters at all
+density levels simultaneously.
+
+In this library OPTICS serves as the density substrate of
+:class:`~repro.clustering.fosc.FOSCOpticsDend`: the reachability information
+is equivalent (up to the usual MinPts smoothing) to the density hierarchy
+built in :mod:`repro.clustering.hierarchy`, and the dendrogram extracted
+from it is what FOSC operates on.  A classic flat DBSCAN-style extraction at
+a fixed ``eps`` is also provided.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.clustering.base import BaseClusterer
+from repro.clustering.distances import k_nearest_distances, pairwise_distances
+from repro.constraints.constraint import ConstraintSet
+from repro.utils.rng import RandomStateLike
+from repro.utils.validation import check_array_2d, check_positive_int
+
+
+class OPTICS(BaseClusterer):
+    """OPTICS ordering and reachability computation.
+
+    Parameters
+    ----------
+    min_pts:
+        Minimum number of points in the ε-neighbourhood of a core point
+        (the object itself counts, matching the convention of the original
+        paper and of the CVCP evaluation, where MinPts ranges over
+        ``[3, 6, ..., 24]``).
+    eps:
+        Maximum neighbourhood radius; ``inf`` (default) means the full
+        hierarchy is computed, which is what FOSC-OPTICSDend needs.
+    metric:
+        Distance metric passed to
+        :func:`~repro.clustering.distances.pairwise_distances`.
+
+    Attributes
+    ----------
+    ordering_:
+        Permutation of ``0..n-1`` in OPTICS visit order.
+    reachability_:
+        Reachability distance per object (indexed by object, not by
+        position in the ordering); the first object of each connected
+        component has ``inf``.
+    core_distances_:
+        Distance to the ``min_pts``-th nearest neighbour per object.
+    labels_:
+        Flat labels from :meth:`extract_dbscan` when ``eps`` is finite,
+        otherwise a single cluster (OPTICS itself is not a flat clusterer).
+    """
+
+    tuned_parameter = "min_pts"
+
+    def __init__(
+        self,
+        min_pts: int = 5,
+        *,
+        eps: float = np.inf,
+        metric: str = "euclidean",
+        random_state: RandomStateLike = None,
+    ) -> None:
+        self.min_pts = min_pts
+        self.eps = eps
+        self.metric = metric
+        self.random_state = random_state
+
+    def fit(
+        self,
+        X: np.ndarray,
+        constraints: ConstraintSet | None = None,
+        seed_labels: dict[int, int] | None = None,
+    ) -> "OPTICS":
+        """Compute the OPTICS ordering of ``X`` (side information is ignored)."""
+        X = check_array_2d(X)
+        min_pts = check_positive_int(self.min_pts, name="min_pts")
+        if min_pts > X.shape[0]:
+            raise ValueError(
+                f"min_pts={min_pts} exceeds the number of samples {X.shape[0]}"
+            )
+
+        distances = pairwise_distances(X, metric=self.metric)
+        self.core_distances_ = k_nearest_distances(distances, min_pts)
+        self.ordering_, self.reachability_ = self._compute_ordering(distances)
+        if np.isfinite(self.eps):
+            self.labels_ = self.extract_dbscan(self.eps)
+        else:
+            self.labels_ = np.zeros(X.shape[0], dtype=np.int64)
+        self._distances = distances
+        return self
+
+    # ------------------------------------------------------------------
+    def _compute_ordering(self, distances: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        n_samples = distances.shape[0]
+        eps = self.eps
+        core = self.core_distances_
+        reachability = np.full(n_samples, np.inf)
+        processed = np.zeros(n_samples, dtype=bool)
+        ordering: list[int] = []
+
+        for start in range(n_samples):
+            if processed[start]:
+                continue
+            # Expand one connected component with a priority queue keyed by
+            # the current reachability distance (ties broken by index for
+            # determinism).
+            heap: list[tuple[float, int]] = [(np.inf, start)]
+            while heap:
+                current_reach, index = heapq.heappop(heap)
+                if processed[index]:
+                    continue
+                processed[index] = True
+                ordering.append(index)
+                if core[index] > eps:
+                    continue
+                neighbor_distances = distances[index]
+                within = np.flatnonzero(~processed & (neighbor_distances <= eps))
+                if within.size == 0:
+                    continue
+                new_reach = np.maximum(core[index], neighbor_distances[within])
+                improved = new_reach < reachability[within]
+                for neighbor, reach in zip(within[improved], new_reach[improved]):
+                    reachability[neighbor] = reach
+                    heapq.heappush(heap, (float(reach), int(neighbor)))
+        return np.asarray(ordering, dtype=np.int64), reachability
+
+    # ------------------------------------------------------------------
+    def reachability_plot(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(ordering, reachability in ordering order)`` for plotting."""
+        if not hasattr(self, "ordering_"):
+            raise AttributeError("OPTICS has not been fitted yet")
+        return self.ordering_, self.reachability_[self.ordering_]
+
+    def extract_dbscan(self, eps: float) -> np.ndarray:
+        """Extract a flat DBSCAN-like clustering at radius ``eps``.
+
+        Objects whose reachability exceeds ``eps`` start a new cluster if
+        their own core distance is within ``eps`` and are labelled noise
+        (``-1``) otherwise.
+        """
+        if not hasattr(self, "ordering_"):
+            raise AttributeError("OPTICS has not been fitted yet")
+        if eps <= 0:
+            raise ValueError(f"eps must be positive, got {eps}")
+        labels = np.full(self.reachability_.shape[0], -1, dtype=np.int64)
+        current_cluster = -1
+        for index in self.ordering_:
+            if self.reachability_[index] > eps:
+                if self.core_distances_[index] <= eps:
+                    current_cluster += 1
+                    labels[index] = current_cluster
+                else:
+                    labels[index] = -1
+            else:
+                if current_cluster == -1:
+                    current_cluster = 0
+                labels[index] = current_cluster
+        return labels

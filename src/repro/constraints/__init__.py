@@ -1,0 +1,55 @@
+"""Pairwise-constraint machinery for semi-supervised clustering.
+
+This subpackage provides the substrate used by both scenarios of the CVCP
+framework (Pourrajabi et al., EDBT 2014):
+
+* :mod:`repro.constraints.constraint` — the :class:`Constraint` value type
+  and the :class:`ConstraintSet` container.
+* :mod:`repro.constraints.closure` — transitive closure of a constraint set
+  and consistency checking (Figure 2 of the paper).
+* :mod:`repro.constraints.graph` — graph views over constraint sets
+  (components, adjacency, induced subsets).
+* :mod:`repro.constraints.generation` — sampling labelled objects,
+  deriving constraints from labels, building and sampling constraint pools
+  (Section 4.1 of the paper).
+"""
+
+from repro.constraints.constraint import (
+    CANNOT_LINK,
+    MUST_LINK,
+    Constraint,
+    ConstraintSet,
+    cannot_link,
+    must_link,
+)
+from repro.constraints.closure import (
+    InconsistentConstraintsError,
+    transitive_closure,
+    is_consistent,
+    must_link_components,
+)
+from repro.constraints.graph import ConstraintGraph
+from repro.constraints.generation import (
+    constraints_from_labels,
+    sample_labeled_objects,
+    build_constraint_pool,
+    sample_constraint_subset,
+)
+
+__all__ = [
+    "MUST_LINK",
+    "CANNOT_LINK",
+    "Constraint",
+    "ConstraintSet",
+    "must_link",
+    "cannot_link",
+    "transitive_closure",
+    "is_consistent",
+    "must_link_components",
+    "InconsistentConstraintsError",
+    "ConstraintGraph",
+    "constraints_from_labels",
+    "sample_labeled_objects",
+    "build_constraint_pool",
+    "sample_constraint_subset",
+]

@@ -1,0 +1,315 @@
+"""Constraint value type and constraint-set container.
+
+A pairwise instance-level constraint relates two data objects, identified by
+their integer indices in the data matrix, and is either a *must-link*
+(the two objects should end up in the same cluster) or a *cannot-link*
+(the two objects should end up in different clusters).
+
+Constraints are undirected: ``must-link(a, b)`` and ``must-link(b, a)`` are
+the same constraint.  The :class:`Constraint` type normalises the index
+order so the pair ``(min(a, b), max(a, b))`` identifies the constraint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+#: Marker for must-link constraints (the paper's "class 1").
+MUST_LINK = 1
+
+#: Marker for cannot-link constraints (the paper's "class 0").
+CANNOT_LINK = 0
+
+_KIND_NAMES = {MUST_LINK: "must-link", CANNOT_LINK: "cannot-link"}
+
+
+@dataclass(frozen=True, order=True)
+class Constraint:
+    """A single undirected pairwise constraint between objects ``i`` and ``j``.
+
+    Parameters
+    ----------
+    i, j:
+        Indices of the two objects.  They are normalised so that ``i < j``.
+    kind:
+        Either :data:`MUST_LINK` or :data:`CANNOT_LINK`.
+    """
+
+    i: int
+    j: int
+    kind: int
+
+    def __post_init__(self) -> None:
+        if self.i == self.j:
+            raise ValueError(f"a constraint needs two distinct objects, got ({self.i}, {self.j})")
+        if self.kind not in (MUST_LINK, CANNOT_LINK):
+            raise ValueError(f"kind must be MUST_LINK or CANNOT_LINK, got {self.kind!r}")
+        low, high = (self.j, self.i) if self.i > self.j else (self.i, self.j)
+        object.__setattr__(self, "i", int(low))
+        object.__setattr__(self, "j", int(high))
+        object.__setattr__(self, "kind", int(self.kind))
+
+    @property
+    def pair(self) -> tuple[int, int]:
+        """The normalised ``(i, j)`` pair with ``i < j``."""
+        return (self.i, self.j)
+
+    @property
+    def is_must_link(self) -> bool:
+        return self.kind == MUST_LINK
+
+    @property
+    def is_cannot_link(self) -> bool:
+        return self.kind == CANNOT_LINK
+
+    def involves(self, index: int) -> bool:
+        """Whether the constraint touches object ``index``."""
+        return index == self.i or index == self.j
+
+    def other(self, index: int) -> int:
+        """Return the endpoint that is not ``index``.
+
+        Raises
+        ------
+        ValueError
+            If ``index`` is not an endpoint of this constraint.
+        """
+        if index == self.i:
+            return self.j
+        if index == self.j:
+            return self.i
+        raise ValueError(f"object {index} is not part of constraint {self}")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{_KIND_NAMES[self.kind]}({self.i}, {self.j})"
+
+
+def must_link(i: int, j: int) -> Constraint:
+    """Convenience constructor for a must-link constraint."""
+    return Constraint(i, j, MUST_LINK)
+
+
+def cannot_link(i: int, j: int) -> Constraint:
+    """Convenience constructor for a cannot-link constraint."""
+    return Constraint(i, j, CANNOT_LINK)
+
+
+class ConstraintSet:
+    """A deduplicated collection of pairwise constraints.
+
+    The container behaves like a set of :class:`Constraint` objects but also
+    offers the array views and per-object lookups the clustering algorithms
+    and the CVCP cross-validation machinery need.
+
+    Adding the same pair twice with the same kind is a no-op; adding the same
+    pair with *conflicting* kinds raises :class:`ValueError` (such a set
+    could never be satisfied and almost always indicates a bookkeeping bug
+    upstream).
+    """
+
+    def __init__(self, constraints: Iterable[Constraint] = ()) -> None:
+        self._by_pair: dict[tuple[int, int], Constraint] = {}
+        for constraint in constraints:
+            self.add(constraint)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_arrays(
+        cls,
+        must_links: Sequence[tuple[int, int]] = (),
+        cannot_links: Sequence[tuple[int, int]] = (),
+    ) -> "ConstraintSet":
+        """Build a set from two sequences of index pairs."""
+        constraints = [Constraint(i, j, MUST_LINK) for i, j in must_links]
+        constraints += [Constraint(i, j, CANNOT_LINK) for i, j in cannot_links]
+        return cls(constraints)
+
+    def copy(self) -> "ConstraintSet":
+        """Return a shallow copy (constraints are immutable)."""
+        clone = ConstraintSet()
+        clone._by_pair = dict(self._by_pair)
+        return clone
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, constraint: Constraint) -> None:
+        """Add one constraint, rejecting direct contradictions."""
+        existing = self._by_pair.get(constraint.pair)
+        if existing is not None and existing.kind != constraint.kind:
+            raise ValueError(
+                f"conflicting constraint for pair {constraint.pair}: "
+                f"{_KIND_NAMES[existing.kind]} already present, tried to add "
+                f"{_KIND_NAMES[constraint.kind]}"
+            )
+        self._by_pair[constraint.pair] = constraint
+
+    def add_must_link(self, i: int, j: int) -> None:
+        self.add(Constraint(i, j, MUST_LINK))
+
+    def add_cannot_link(self, i: int, j: int) -> None:
+        self.add(Constraint(i, j, CANNOT_LINK))
+
+    def update(self, constraints: Iterable[Constraint]) -> None:
+        """Add every constraint from ``constraints``."""
+        for constraint in constraints:
+            self.add(constraint)
+
+    def discard(self, constraint: Constraint) -> None:
+        """Remove a constraint if present (matching pair and kind)."""
+        existing = self._by_pair.get(constraint.pair)
+        if existing is not None and existing.kind == constraint.kind:
+            del self._by_pair[constraint.pair]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._by_pair)
+
+    def __iter__(self) -> Iterator[Constraint]:
+        return iter(self._by_pair.values())
+
+    def __contains__(self, constraint: Constraint) -> bool:
+        existing = self._by_pair.get(constraint.pair)
+        return existing is not None and existing.kind == constraint.kind
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConstraintSet):
+            return NotImplemented
+        return self._by_pair == other._by_pair
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ConstraintSet(n_must_link={self.n_must_link}, "
+            f"n_cannot_link={self.n_cannot_link})"
+        )
+
+    def kind_of(self, i: int, j: int) -> int | None:
+        """Return the kind of the constraint on ``(i, j)``, or ``None``."""
+        if i == j:
+            return None
+        pair = (i, j) if i < j else (j, i)
+        existing = self._by_pair.get(pair)
+        return None if existing is None else existing.kind
+
+    @property
+    def must_links(self) -> list[Constraint]:
+        """All must-link constraints (stable insertion order)."""
+        return [c for c in self if c.is_must_link]
+
+    @property
+    def cannot_links(self) -> list[Constraint]:
+        """All cannot-link constraints (stable insertion order)."""
+        return [c for c in self if c.is_cannot_link]
+
+    @property
+    def n_must_link(self) -> int:
+        return sum(1 for c in self if c.is_must_link)
+
+    @property
+    def n_cannot_link(self) -> int:
+        return sum(1 for c in self if c.is_cannot_link)
+
+    def involved_objects(self) -> list[int]:
+        """Sorted list of every object index touched by any constraint."""
+        objects: set[int] = set()
+        for constraint in self:
+            objects.add(constraint.i)
+            objects.add(constraint.j)
+        return sorted(objects)
+
+    # ------------------------------------------------------------------
+    # Array views
+    # ------------------------------------------------------------------
+    def must_link_array(self) -> np.ndarray:
+        """``(m, 2)`` integer array of must-link pairs (may be empty)."""
+        pairs = [c.pair for c in self if c.is_must_link]
+        if not pairs:
+            return np.empty((0, 2), dtype=np.intp)
+        return np.asarray(pairs, dtype=np.intp)
+
+    def cannot_link_array(self) -> np.ndarray:
+        """``(m, 2)`` integer array of cannot-link pairs (may be empty)."""
+        pairs = [c.pair for c in self if c.is_cannot_link]
+        if not pairs:
+            return np.empty((0, 2), dtype=np.intp)
+        return np.asarray(pairs, dtype=np.intp)
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(pairs, kinds)`` flattened into ``(i, j, kind)`` arrays."""
+        if not self._by_pair:
+            empty = np.empty(0, dtype=np.intp)
+            return empty, empty.copy(), empty.copy()
+        i_idx = np.fromiter((c.i for c in self), dtype=np.intp, count=len(self))
+        j_idx = np.fromiter((c.j for c in self), dtype=np.intp, count=len(self))
+        kinds = np.fromiter((c.kind for c in self), dtype=np.intp, count=len(self))
+        return i_idx, j_idx, kinds
+
+    # ------------------------------------------------------------------
+    # Subsetting / mapping
+    # ------------------------------------------------------------------
+    def restricted_to(self, objects: Iterable[int]) -> "ConstraintSet":
+        """Keep only constraints whose *both* endpoints are in ``objects``."""
+        allowed = set(int(o) for o in objects)
+        return ConstraintSet(
+            c for c in self if c.i in allowed and c.j in allowed
+        )
+
+    def without_objects(self, objects: Iterable[int]) -> "ConstraintSet":
+        """Drop every constraint touching any object in ``objects``."""
+        banned = set(int(o) for o in objects)
+        return ConstraintSet(
+            c for c in self if c.i not in banned and c.j not in banned
+        )
+
+    def remap(self, index_map: dict[int, int]) -> "ConstraintSet":
+        """Re-index constraints through ``index_map`` (old index -> new index).
+
+        Constraints touching an object not present in the map are dropped.
+        This is useful when clustering a subset of the data where objects
+        have been re-indexed.
+        """
+        remapped = ConstraintSet()
+        for constraint in self:
+            if constraint.i in index_map and constraint.j in index_map:
+                remapped.add(
+                    Constraint(index_map[constraint.i], index_map[constraint.j], constraint.kind)
+                )
+        return remapped
+
+    def merged_with(self, other: "ConstraintSet") -> "ConstraintSet":
+        """Return the union of this set and ``other``."""
+        merged = self.copy()
+        merged.update(other)
+        return merged
+
+    def satisfied_by(self, labels: Sequence[int] | np.ndarray) -> int:
+        """Count constraints satisfied by a flat partition ``labels``.
+
+        Objects labelled ``-1`` (noise) are treated as singleton clusters:
+        a noise object is never in the same cluster as any other object.
+        """
+        labels = np.asarray(labels)
+        satisfied = 0
+        for constraint in self:
+            same = _same_cluster(labels, constraint.i, constraint.j)
+            if constraint.is_must_link and same:
+                satisfied += 1
+            elif constraint.is_cannot_link and not same:
+                satisfied += 1
+        return satisfied
+
+
+def _same_cluster(labels: np.ndarray, i: int, j: int) -> bool:
+    """Whether objects ``i`` and ``j`` share a (non-noise) cluster."""
+    label_i = labels[i]
+    label_j = labels[j]
+    if label_i < 0 or label_j < 0:
+        return False
+    return bool(label_i == label_j)

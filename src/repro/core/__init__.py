@@ -1,0 +1,63 @@
+"""CVCP — Cross-Validation for finding Clustering Parameters.
+
+The paper's primary contribution: a model-selection framework for
+semi-supervised clustering.  The workflow (Section 3) is
+
+1. build constraint-aware cross-validation folds from the available side
+   information (:mod:`repro.core.folds`, Scenario I for labelled objects,
+   Scenario II for raw pairwise constraints);
+2. for every candidate parameter value, cluster with the training-fold
+   information and score the partition as a classifier over the test-fold
+   constraints (:mod:`repro.core.scoring`);
+3. select the parameter with the best cross-validated score and refit with
+   all available information (:class:`repro.core.cvcp.CVCP`).
+
+:mod:`repro.core.model_selection` holds the result containers and the
+baseline selectors (Silhouette-based selection and the "expected
+performance" reference used in the paper's comparison).
+"""
+
+from repro.core.folds import (
+    CVCPFold,
+    label_scenario_folds,
+    constraint_scenario_folds,
+    make_folds,
+)
+from repro.core.scoring import (
+    constraint_f_score,
+    constraint_accuracy_score,
+    score_partition,
+    SCORERS,
+)
+from repro.core.model_selection import (
+    ParameterEvaluation,
+    CVCPResult,
+    SilhouetteSelector,
+    expected_quality,
+)
+from repro.core.cvcp import CVCP, select_parameter
+from repro.core.algorithm_selection import (
+    AlgorithmCandidate,
+    AlgorithmSelectionResult,
+    CVCPAlgorithmSelector,
+)
+
+__all__ = [
+    "AlgorithmCandidate",
+    "AlgorithmSelectionResult",
+    "CVCPAlgorithmSelector",
+    "CVCPFold",
+    "label_scenario_folds",
+    "constraint_scenario_folds",
+    "make_folds",
+    "constraint_f_score",
+    "constraint_accuracy_score",
+    "score_partition",
+    "SCORERS",
+    "ParameterEvaluation",
+    "CVCPResult",
+    "SilhouetteSelector",
+    "expected_quality",
+    "CVCP",
+    "select_parameter",
+]

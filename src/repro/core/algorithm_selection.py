@@ -1,0 +1,184 @@
+"""Selecting between clustering *algorithms* with CVCP (paper's future work).
+
+The conclusion of the paper names two extensions: combining CVCP with other
+semi-supervised clustering methods, and extending the approach "to compare
+and select alternative clustering methods".  :class:`CVCPAlgorithmSelector`
+implements the latter: each candidate algorithm gets its own CVCP parameter
+sweep on the *same* folds-from-side-information budget, and the pair
+(algorithm, parameter value) with the best cross-validated constraint
+classification score wins.
+
+Because the internal score is a property of the produced partition and the
+held-out constraints only — never of the algorithm's own objective — scores
+of different algorithms are directly comparable, which is exactly what makes
+cross-algorithm selection sound in this framework.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.clustering.base import BaseClusterer
+from repro.constraints.constraint import ConstraintSet
+from repro.core.cvcp import CVCP
+from repro.core.model_selection import CVCPResult
+from repro.utils.rng import RandomStateLike, check_random_state
+from repro.utils.validation import check_array_2d
+
+
+@dataclass
+class AlgorithmCandidate:
+    """One algorithm entered into the selection.
+
+    Attributes
+    ----------
+    name:
+        Display name (e.g. ``"fosc-opticsdend"``).
+    estimator:
+        Template clusterer (cloned per parameter value).
+    parameter_values:
+        Candidate values of the estimator's tuned parameter.
+    parameter_name:
+        Optional override of the tuned parameter's name.
+    """
+
+    name: str
+    estimator: BaseClusterer
+    parameter_values: Sequence[Any]
+    parameter_name: str | None = None
+
+
+@dataclass
+class AlgorithmSelectionResult:
+    """Outcome of a cross-algorithm CVCP selection."""
+
+    best_algorithm: str
+    best_parameter: Any
+    best_score: float
+    per_algorithm: dict[str, CVCPResult]
+
+    def ranking(self) -> list[tuple[str, Any, float]]:
+        """``(algorithm, best parameter, best score)`` sorted by score, best first."""
+        rows = [
+            (name, result.best_value, result.best_score)
+            for name, result in self.per_algorithm.items()
+        ]
+        return sorted(rows, key=lambda row: row[2], reverse=True)
+
+
+class CVCPAlgorithmSelector:
+    """Run CVCP for several algorithms and keep the overall winner.
+
+    Parameters
+    ----------
+    candidates:
+        The algorithms to compare, either a sequence of
+        :class:`AlgorithmCandidate` or a mapping
+        ``{name: (estimator, parameter_values)}``.
+    n_folds, scoring, random_state:
+        Passed through to each per-algorithm :class:`~repro.core.cvcp.CVCP`.
+        All algorithms are evaluated with the *same* master seed so the
+        comparison is as paired as the stochastic estimators allow.
+    refit:
+        Refit the winning (algorithm, parameter) on all side information.
+
+    Examples
+    --------
+    >>> from repro.clustering import FOSCOpticsDend, MPCKMeans
+    >>> selector = CVCPAlgorithmSelector({
+    ...     "fosc": (FOSCOpticsDend(), [3, 6, 9, 12]),
+    ...     "mpck": (MPCKMeans(random_state=0), [2, 3, 4, 5]),
+    ... }, n_folds=4, random_state=0)
+    """
+
+    def __init__(
+        self,
+        candidates: Sequence[AlgorithmCandidate] | Mapping[str, tuple[BaseClusterer, Sequence[Any]]],
+        *,
+        n_folds: int = 10,
+        scoring: str = "average_f",
+        refit: bool = True,
+        random_state: RandomStateLike = None,
+    ) -> None:
+        self.candidates = self._normalise_candidates(candidates)
+        if not self.candidates:
+            raise ValueError("at least one algorithm candidate is required")
+        names = [candidate.name for candidate in self.candidates]
+        if len(set(names)) != len(names):
+            raise ValueError(f"candidate names must be unique, got {names}")
+        self.n_folds = n_folds
+        self.scoring = scoring
+        self.refit = refit
+        self.random_state = random_state
+
+    @staticmethod
+    def _normalise_candidates(
+        candidates: Sequence[AlgorithmCandidate] | Mapping[str, tuple[BaseClusterer, Sequence[Any]]],
+    ) -> list[AlgorithmCandidate]:
+        if isinstance(candidates, Mapping):
+            return [
+                AlgorithmCandidate(name=name, estimator=estimator, parameter_values=values)
+                for name, (estimator, values) in candidates.items()
+            ]
+        return list(candidates)
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        X: np.ndarray,
+        *,
+        labeled_objects: dict[int, int] | None = None,
+        constraints: ConstraintSet | None = None,
+    ) -> "CVCPAlgorithmSelector":
+        """Run every per-algorithm sweep and keep the overall best model."""
+        X = check_array_2d(X)
+        rng = check_random_state(self.random_state)
+        master_seed = int(rng.integers(0, 2**31 - 1))
+
+        per_algorithm: dict[str, CVCPResult] = {}
+        searches: dict[str, CVCP] = {}
+        for candidate in self.candidates:
+            search = CVCP(
+                candidate.estimator,
+                candidate.parameter_values,
+                parameter_name=candidate.parameter_name,
+                n_folds=self.n_folds,
+                scoring=self.scoring,
+                refit=False,
+                random_state=master_seed,
+            )
+            search.fit(X, labeled_objects=labeled_objects, constraints=constraints)
+            per_algorithm[candidate.name] = search.cv_results_
+            searches[candidate.name] = search
+
+        best_name = max(per_algorithm, key=lambda name: per_algorithm[name].best_score)
+        self.result_ = AlgorithmSelectionResult(
+            best_algorithm=best_name,
+            best_parameter=per_algorithm[best_name].best_value,
+            best_score=per_algorithm[best_name].best_score,
+            per_algorithm=per_algorithm,
+        )
+        self.best_algorithm_ = best_name
+        self.best_params_ = {
+            per_algorithm[best_name].parameter_name: per_algorithm[best_name].best_value
+        }
+        self.best_score_ = per_algorithm[best_name].best_score
+
+        if self.refit:
+            winner = next(c for c in self.candidates if c.name == best_name)
+            refit_search = CVCP(
+                winner.estimator,
+                [self.result_.best_parameter],
+                parameter_name=winner.parameter_name,
+                n_folds=self.n_folds,
+                scoring=self.scoring,
+                refit=True,
+                random_state=master_seed,
+            )
+            refit_search.fit(X, labeled_objects=labeled_objects, constraints=constraints)
+            self.best_estimator_ = refit_search.best_estimator_
+            self.labels_ = refit_search.labels_
+        return self

@@ -1,0 +1,256 @@
+"""The CVCP model-selection driver (Section 3.3 and Figure 1 of the paper).
+
+:class:`CVCP` wires the pieces together:
+
+1. build constraint-aware folds from the provided side information
+   (Scenario I for labelled objects, Scenario II for pairwise constraints);
+2. for every candidate parameter value and every fold, clone the estimator,
+   fit it on the full data with the *training-fold* information only, and
+   score the resulting partition on the *test-fold* constraints with the
+   average per-class F-measure;
+3. select the parameter value with the highest mean score;
+4. refit the estimator with the selected value using *all* available side
+   information — the final model returned to the user.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.clustering.base import BaseClusterer
+from repro.constraints.constraint import ConstraintSet
+from repro.core.folds import CVCPFold, make_folds
+from repro.core.model_selection import CVCPResult, ParameterEvaluation
+from repro.core.scoring import score_partition
+from repro.utils.rng import RandomStateLike, check_random_state
+from repro.utils.validation import check_array_2d, check_positive_int
+
+
+class CVCP:
+    """Cross-Validation for finding Clustering Parameters.
+
+    Parameters
+    ----------
+    estimator:
+        Template semi-supervised clusterer (e.g.
+        :class:`~repro.clustering.mpckmeans.MPCKMeans` or
+        :class:`~repro.clustering.fosc.FOSCOpticsDend`).  It is never fitted
+        directly; clones are created per parameter value.
+    parameter_values:
+        Candidate values of the swept parameter.
+    parameter_name:
+        Name of the swept constructor parameter; defaults to the
+        estimator's declared ``tuned_parameter``.
+    n_folds:
+        Number of cross-validation folds (default 10, capped at the number
+        of objects carrying side information).
+    scoring:
+        Internal scorer name (see :data:`repro.core.scoring.SCORERS`);
+        default is the paper's class-averaged constraint F-measure.
+    use_labels_directly:
+        In the label scenario, pass the training-fold labels to the
+        estimator as ``seed_labels`` instead of deriving constraints.  The
+        default (``False``) derives constraints, which every estimator in
+        this library accepts.
+    refit:
+        Whether to refit the winning model on all side information
+        (step 4); disable to only inspect the cross-validation scores.
+    random_state:
+        Seed or generator controlling the fold shuffles and the clones'
+        stochastic initialisation.
+
+    Attributes
+    ----------
+    cv_results_:
+        :class:`~repro.core.model_selection.CVCPResult` with per-value,
+        per-fold scores.
+    best_params_:
+        ``{parameter_name: best value}``.
+    best_score_:
+        Cross-validated score of the winning value.
+    best_estimator_:
+        The refitted estimator (only with ``refit=True``).
+    labels_:
+        Labels of the refitted estimator (only with ``refit=True``).
+
+    Examples
+    --------
+    >>> from repro.clustering import MPCKMeans
+    >>> from repro.constraints import constraints_from_labels
+    >>> from repro.datasets import make_iris_like
+    >>> data = make_iris_like(random_state=0)
+    >>> side = {0: 0, 3: 0, 60: 1, 70: 1, 120: 2, 130: 2, 20: 0, 90: 1}
+    >>> search = CVCP(MPCKMeans(random_state=0), parameter_values=[2, 3, 4, 5],
+    ...               n_folds=4, random_state=0)
+    >>> search.fit(data.X, labeled_objects=side)  # doctest: +ELLIPSIS
+    <repro.core.cvcp.CVCP object at ...>
+    >>> search.best_params_["n_clusters"] in [2, 3, 4, 5]
+    True
+    """
+
+    def __init__(
+        self,
+        estimator: BaseClusterer,
+        parameter_values: Sequence[Any],
+        *,
+        parameter_name: str | None = None,
+        n_folds: int = 10,
+        scoring: str = "average_f",
+        use_labels_directly: bool = False,
+        refit: bool = True,
+        random_state: RandomStateLike = None,
+    ) -> None:
+        if not list(parameter_values):
+            raise ValueError("parameter_values must not be empty")
+        self.estimator = estimator
+        self.parameter_values = list(parameter_values)
+        self.parameter_name = parameter_name or estimator.tuned_parameter
+        if not self.parameter_name:
+            raise ValueError(
+                "parameter_name must be given when the estimator does not declare a tuned_parameter"
+            )
+        self.n_folds = check_positive_int(n_folds, name="n_folds", minimum=2)
+        self.scoring = scoring
+        self.use_labels_directly = use_labels_directly
+        self.refit = refit
+        self.random_state = random_state
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        X: np.ndarray,
+        *,
+        labeled_objects: dict[int, int] | None = None,
+        constraints: ConstraintSet | None = None,
+    ) -> "CVCP":
+        """Run the full CVCP procedure on ``X``.
+
+        Exactly one kind of side information must be provided:
+        ``labeled_objects`` (Scenario I) or ``constraints`` (Scenario II).
+        """
+        X = check_array_2d(X)
+        rng = check_random_state(self.random_state)
+
+        if labeled_objects and constraints is not None and len(constraints):
+            raise ValueError(
+                "provide either labeled_objects or constraints, not both; "
+                "labels already imply their constraints"
+            )
+        scenario = "labels" if labeled_objects else "constraints"
+        folds = make_folds(
+            labeled_objects=labeled_objects,
+            constraints=constraints,
+            n_folds=self.n_folds,
+            random_state=rng,
+        )
+
+        evaluations = [
+            ParameterEvaluation(
+                value=value,
+                fold_scores=[
+                    self._score_fold(X, value, fold, rng) for fold in folds
+                ],
+            )
+            for value in self.parameter_values
+        ]
+        self.cv_results_ = CVCPResult(
+            parameter_name=self.parameter_name,
+            evaluations=evaluations,
+            n_folds=len(folds),
+            scenario=scenario,
+        )
+        self.best_params_ = {self.parameter_name: self.cv_results_.best_value}
+        self.best_score_ = self.cv_results_.best_score
+
+        if self.refit:
+            self.best_estimator_ = self._refit(X, labeled_objects, constraints, rng)
+            self.labels_ = self.best_estimator_.labels_
+        return self
+
+    def fit_predict(
+        self,
+        X: np.ndarray,
+        *,
+        labeled_objects: dict[int, int] | None = None,
+        constraints: ConstraintSet | None = None,
+    ) -> np.ndarray:
+        """Run CVCP and return the labels of the refitted best model."""
+        if not self.refit:
+            raise ValueError("fit_predict requires refit=True")
+        self.fit(X, labeled_objects=labeled_objects, constraints=constraints)
+        return self.labels_
+
+    # ------------------------------------------------------------------
+    def _make_estimator(self, value: Any, rng: np.random.Generator) -> BaseClusterer:
+        """Clone the template with the candidate value and a child seed."""
+        overrides: dict[str, Any] = {self.parameter_name: value}
+        if "random_state" in self.estimator.get_params():
+            overrides["random_state"] = int(rng.integers(0, 2**31 - 1))
+        return self.estimator.clone(**overrides)
+
+    def _score_fold(
+        self,
+        X: np.ndarray,
+        value: Any,
+        fold: CVCPFold,
+        rng: np.random.Generator,
+    ) -> float:
+        """Fit on the training-fold information, score on the test-fold constraints."""
+        if not fold.has_test_information():
+            return 0.0
+        estimator = self._make_estimator(value, rng)
+        if self.use_labels_directly and fold.training_labels:
+            estimator.fit(X, seed_labels=fold.training_labels)
+        else:
+            estimator.fit(X, constraints=fold.training_constraints)
+        return score_partition(estimator.labels_, fold.test_constraints, scoring=self.scoring)
+
+    def _refit(
+        self,
+        X: np.ndarray,
+        labeled_objects: dict[int, int] | None,
+        constraints: ConstraintSet | None,
+        rng: np.random.Generator,
+    ) -> BaseClusterer:
+        """Step 4: rerun the winning model with all available side information."""
+        estimator = self._make_estimator(self.cv_results_.best_value, rng)
+        if labeled_objects:
+            if self.use_labels_directly:
+                estimator.fit(X, seed_labels=labeled_objects)
+            else:
+                from repro.constraints.generation import constraints_from_labels
+
+                estimator.fit(X, constraints=constraints_from_labels(labeled_objects))
+        else:
+            estimator.fit(X, constraints=constraints)
+        return estimator
+
+
+def select_parameter(
+    estimator: BaseClusterer,
+    X: np.ndarray,
+    parameter_values: Sequence[Any],
+    *,
+    labeled_objects: dict[int, int] | None = None,
+    constraints: ConstraintSet | None = None,
+    n_folds: int = 10,
+    scoring: str = "average_f",
+    random_state: RandomStateLike = None,
+) -> tuple[Any, CVCPResult]:
+    """Functional one-shot interface to CVCP.
+
+    Returns ``(best value, full cross-validation result)`` without refitting;
+    convenient inside experiment loops where the refit is done separately.
+    """
+    search = CVCP(
+        estimator,
+        parameter_values,
+        n_folds=n_folds,
+        scoring=scoring,
+        refit=False,
+        random_state=random_state,
+    )
+    search.fit(X, labeled_objects=labeled_objects, constraints=constraints)
+    return search.cv_results_.best_value, search.cv_results_

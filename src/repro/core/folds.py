@@ -1,0 +1,228 @@
+"""Constraint-aware cross-validation folds (Section 3.1 of the paper).
+
+The naive approach — splitting the explicit constraints into folds — leaks
+information: the transitive closure of the training constraints can contain
+test constraints (Figure 2).  The two scenarios below avoid this by
+splitting *objects* rather than constraints:
+
+* **Scenario I — labelled objects** (:func:`label_scenario_folds`, Fig. 3):
+  the labelled objects are partitioned into ``n`` folds.  Constraints are
+  derived independently from the training-fold labels and from the
+  test-fold labels, so they cannot overlap even implicitly.
+
+* **Scenario II — pairwise constraints** (:func:`constraint_scenario_folds`,
+  Fig. 4): the objects involved in any constraint are partitioned into
+  ``n`` folds; constraints whose endpoints fall into different sides are
+  deleted, and the transitive closure is recomputed independently on each
+  side.
+
+Both produce :class:`CVCPFold` objects carrying the training-side
+information (labels and/or constraints handed to the clustering algorithm)
+and the test-side constraints used purely for scoring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.constraints.closure import transitive_closure
+from repro.constraints.constraint import ConstraintSet
+from repro.constraints.generation import constraints_from_labels
+from repro.utils.rng import RandomStateLike, check_random_state
+from repro.utils.validation import check_positive_int
+
+
+@dataclass
+class CVCPFold:
+    """One train/test split of the available side information.
+
+    Attributes
+    ----------
+    index:
+        Position of the fold in the cross-validation (``0..n_folds-1``).
+    training_labels:
+        Partial labelling available for training (empty in Scenario II).
+    training_constraints:
+        Constraints available for training (derived from
+        ``training_labels`` in Scenario I, re-closed explicit constraints in
+        Scenario II).
+    test_constraints:
+        Constraints used exclusively for scoring the resulting partition.
+    training_objects / test_objects:
+        The object indices on each side of the split (useful for
+        diagnostics and for excluding side-information objects from
+        external evaluation).
+    """
+
+    index: int
+    training_labels: dict[int, int] = field(default_factory=dict)
+    training_constraints: ConstraintSet = field(default_factory=ConstraintSet)
+    test_constraints: ConstraintSet = field(default_factory=ConstraintSet)
+    training_objects: list[int] = field(default_factory=list)
+    test_objects: list[int] = field(default_factory=list)
+
+    def has_test_information(self) -> bool:
+        """Whether the fold can score anything at all."""
+        return len(self.test_constraints) > 0
+
+
+def _partition_objects(
+    objects: list[int], n_folds: int, rng: np.random.Generator
+) -> list[list[int]]:
+    """Shuffle ``objects`` and split them into ``n_folds`` near-equal folds."""
+    shuffled = list(objects)
+    rng.shuffle(shuffled)
+    folds: list[list[int]] = [[] for _ in range(n_folds)]
+    for position, obj in enumerate(shuffled):
+        folds[position % n_folds].append(obj)
+    return [sorted(fold) for fold in folds]
+
+
+def _effective_n_folds(n_available: int, n_folds: int, *, min_per_fold: int = 1) -> int:
+    """Cap the number of folds so every fold has at least ``min_per_fold`` objects.
+
+    With very little side information (e.g. 10% of a small constraint pool),
+    requesting ten folds would leave test folds with a single object and no
+    test constraint at all; capping keeps every fold informative while never
+    dropping below two folds.
+    """
+    if n_available < 2:
+        raise ValueError(
+            "cross-validation needs at least two objects carrying side information, "
+            f"got {n_available}"
+        )
+    capped = min(n_folds, n_available if min_per_fold <= 1 else max(2, n_available // min_per_fold))
+    return max(2, capped)
+
+
+def label_scenario_folds(
+    labeled_objects: dict[int, int],
+    n_folds: int = 10,
+    *,
+    random_state: RandomStateLike = None,
+    derive_training_constraints: bool = True,
+) -> list[CVCPFold]:
+    """Scenario I folds from a partial labelling.
+
+    Parameters
+    ----------
+    labeled_objects:
+        ``{object_index: class_label}`` — the side information the user has.
+    n_folds:
+        Requested number of folds (capped at the number of labelled objects).
+    random_state:
+        Seed or generator controlling the object shuffle.
+    derive_training_constraints:
+        Also derive the pairwise constraints implied by the training-fold
+        labels (needed by algorithms that consume constraints rather than
+        labels; Section 3.1.1 notes that this step can be skipped for
+        algorithms that take labels directly).
+    """
+    check_positive_int(n_folds, name="n_folds", minimum=2)
+    if not labeled_objects:
+        raise ValueError("labeled_objects must not be empty")
+    rng = check_random_state(random_state)
+
+    objects = sorted(int(index) for index in labeled_objects)
+    n_folds = _effective_n_folds(len(objects), n_folds)
+    object_folds = _partition_objects(objects, n_folds, rng)
+
+    folds: list[CVCPFold] = []
+    for fold_index, test_objects in enumerate(object_folds):
+        test_set = set(test_objects)
+        training_objects = [index for index in objects if index not in test_set]
+
+        training_labels = {index: int(labeled_objects[index]) for index in training_objects}
+        test_labels = {index: int(labeled_objects[index]) for index in test_objects}
+
+        training_constraints = (
+            constraints_from_labels(training_labels)
+            if derive_training_constraints
+            else ConstraintSet()
+        )
+        test_constraints = constraints_from_labels(test_labels)
+
+        folds.append(
+            CVCPFold(
+                index=fold_index,
+                training_labels=training_labels,
+                training_constraints=training_constraints,
+                test_constraints=test_constraints,
+                training_objects=training_objects,
+                test_objects=sorted(test_objects),
+            )
+        )
+    return folds
+
+
+def constraint_scenario_folds(
+    constraints: ConstraintSet,
+    n_folds: int = 10,
+    *,
+    random_state: RandomStateLike = None,
+) -> list[CVCPFold]:
+    """Scenario II folds from an explicit constraint set.
+
+    The given constraints are first extended by their transitive closure;
+    the involved objects are partitioned into folds; constraints crossing
+    the train/test object split are removed; and the closure is recomputed
+    independently on each side (Section 3.1.2), which "essentially reduces
+    to the approach of Scenario I".
+    """
+    check_positive_int(n_folds, name="n_folds", minimum=2)
+    if not len(constraints):
+        raise ValueError("constraints must not be empty")
+    rng = check_random_state(random_state)
+
+    closed = transitive_closure(constraints, strict=False)
+    objects = closed.involved_objects()
+    # Each test fold needs a few objects to carry at least one constraint, so
+    # the fold count is additionally capped at one fold per three objects.
+    n_folds = _effective_n_folds(len(objects), n_folds, min_per_fold=3)
+    object_folds = _partition_objects(objects, n_folds, rng)
+
+    folds: list[CVCPFold] = []
+    for fold_index, test_objects in enumerate(object_folds):
+        test_set = set(test_objects)
+        training_objects = [index for index in objects if index not in test_set]
+
+        training_constraints = transitive_closure(
+            closed.restricted_to(training_objects), strict=False
+        )
+        test_constraints = transitive_closure(
+            closed.restricted_to(test_objects), strict=False
+        )
+
+        folds.append(
+            CVCPFold(
+                index=fold_index,
+                training_labels={},
+                training_constraints=training_constraints,
+                test_constraints=test_constraints,
+                training_objects=training_objects,
+                test_objects=sorted(test_objects),
+            )
+        )
+    return folds
+
+
+def make_folds(
+    *,
+    labeled_objects: dict[int, int] | None = None,
+    constraints: ConstraintSet | None = None,
+    n_folds: int = 10,
+    random_state: RandomStateLike = None,
+) -> list[CVCPFold]:
+    """Dispatch to the appropriate scenario based on the provided information.
+
+    Exactly one of ``labeled_objects`` and ``constraints`` must be given;
+    labels take precedence because they are the more general input
+    (constraints can always be derived from labels, Section 3.1.1).
+    """
+    if labeled_objects:
+        return label_scenario_folds(labeled_objects, n_folds, random_state=random_state)
+    if constraints is not None and len(constraints):
+        return constraint_scenario_folds(constraints, n_folds, random_state=random_state)
+    raise ValueError("provide either labeled_objects or a non-empty constraint set")

@@ -1,0 +1,87 @@
+"""The :class:`Dataset` container used across the library."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.validation import check_array_2d, check_labels
+
+
+@dataclass
+class Dataset:
+    """A labelled data set.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier (e.g. ``"iris-like"``).
+    X:
+        ``(n, d)`` feature matrix.
+    y:
+        ``(n,)`` ground-truth class labels (integers ``0..c-1``).
+    description:
+        Free-form provenance note (what the generator mimics, seed, ...).
+    """
+
+    name: str
+    X: np.ndarray
+    y: np.ndarray
+    description: str = ""
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.X = check_array_2d(self.X, name=f"{self.name}.X")
+        self.y = check_labels(self.y, self.X.shape[0], name=f"{self.name}.y")
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.X.shape[0])
+
+    @property
+    def n_features(self) -> int:
+        return int(self.X.shape[1])
+
+    @property
+    def n_classes(self) -> int:
+        return int(np.unique(self.y).size)
+
+    @property
+    def class_sizes(self) -> dict[int, int]:
+        """Mapping ``class label -> number of objects``."""
+        classes, counts = np.unique(self.y, return_counts=True)
+        return {int(c): int(n) for c, n in zip(classes, counts)}
+
+    def standardized(self) -> "Dataset":
+        """Return a copy with zero-mean, unit-variance features.
+
+        Constant features are left untouched (divided by 1) to avoid NaNs.
+        """
+        mean = self.X.mean(axis=0)
+        std = self.X.std(axis=0)
+        std = np.where(std == 0.0, 1.0, std)
+        return Dataset(
+            name=self.name,
+            X=(self.X - mean) / std,
+            y=self.y.copy(),
+            description=self.description,
+            meta=dict(self.meta, standardized=True),
+        )
+
+    def subsample(self, indices: np.ndarray, *, name: str | None = None) -> "Dataset":
+        """Return the data set restricted to ``indices`` (labels re-used as is)."""
+        indices = np.asarray(indices, dtype=np.intp)
+        return Dataset(
+            name=name or f"{self.name}[subset]",
+            X=self.X[indices],
+            y=self.y[indices],
+            description=self.description,
+            meta=dict(self.meta),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Dataset(name={self.name!r}, n_samples={self.n_samples}, "
+            f"n_features={self.n_features}, n_classes={self.n_classes})"
+        )

@@ -1,0 +1,97 @@
+"""Loading real data files when they are available.
+
+The reproduction runs on synthetic analogues by default, but if the user
+places the real files under a data directory (CSV with the class label in
+the last column, one row per object), the same harness runs on them.
+Expected file names: ``iris.csv``, ``wine.csv``, ``ionosphere.csv``,
+``ecoli.csv``, ``zyeast.csv``; ALOI subsets as ``aloi_k5_<index>.csv``.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+
+#: Default directory searched by :func:`load_real_dataset`.
+DEFAULT_DATA_DIR = Path("data")
+
+
+def load_csv_dataset(path: str | Path, *, name: str | None = None,
+                     delimiter: str = ",") -> Dataset:
+    """Load a CSV file whose last column is the class label.
+
+    Non-numeric class labels are mapped to integers in order of first
+    appearance.  Feature columns must be numeric.
+
+    Raises
+    ------
+    FileNotFoundError
+        If ``path`` does not exist.
+    ValueError
+        If the file is empty or malformed.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"data file not found: {path}")
+
+    rows: list[list[str]] = []
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        for row in reader:
+            if not row or all(not cell.strip() for cell in row):
+                continue
+            rows.append([cell.strip() for cell in row])
+    if not rows:
+        raise ValueError(f"data file is empty: {path}")
+
+    # Skip a header row if the first row's feature cells are not numeric.
+    def _is_numeric(cell: str) -> bool:
+        try:
+            float(cell)
+            return True
+        except ValueError:
+            return False
+
+    if not all(_is_numeric(cell) for cell in rows[0][:-1]):
+        rows = rows[1:]
+    if not rows:
+        raise ValueError(f"data file has a header but no data rows: {path}")
+
+    n_columns = len(rows[0])
+    if n_columns < 2:
+        raise ValueError(f"need at least one feature column and one label column: {path}")
+    if any(len(row) != n_columns for row in rows):
+        raise ValueError(f"inconsistent number of columns in {path}")
+
+    features = np.array([[float(cell) for cell in row[:-1]] for row in rows], dtype=np.float64)
+    raw_labels = [row[-1] for row in rows]
+    label_map: dict[str, int] = {}
+    labels = np.empty(len(raw_labels), dtype=np.int64)
+    for index, raw in enumerate(raw_labels):
+        if raw not in label_map:
+            label_map[raw] = len(label_map)
+        labels[index] = label_map[raw]
+
+    return Dataset(
+        name=name or path.stem,
+        X=features,
+        y=labels,
+        description=f"loaded from {path}",
+        meta={"source": str(path), "label_map": label_map},
+    )
+
+
+def load_real_dataset(name: str, data_dir: str | Path = DEFAULT_DATA_DIR) -> Dataset | None:
+    """Load the real data set ``name`` if its CSV exists under ``data_dir``.
+
+    Returns ``None`` when the file is absent, so callers can transparently
+    fall back to the synthetic analogue.
+    """
+    path = Path(data_dir) / f"{name}.csv"
+    if not path.exists():
+        return None
+    return load_csv_dataset(path, name=name)

@@ -1,0 +1,86 @@
+"""Experiment harness reproducing the paper's evaluation (Section 4).
+
+* :mod:`repro.experiments.config` — the paper's parameter ranges, side
+  information amounts and reference values, plus the scaled-down defaults
+  the benchmarks use.
+* :mod:`repro.experiments.runner` — single-trial drivers: run one
+  algorithm on one data set with one amount of side information, returning
+  internal scores, external scores, and the CVCP / Expected / Silhouette
+  selections.
+* :mod:`repro.experiments.correlation` — Tables 1–4 (correlation of
+  internal scores with the Overall F-Measure).
+* :mod:`repro.experiments.comparison` — Tables 5–16 and Figures 9–12
+  (CVCP vs Expected vs Silhouette performance).
+* :mod:`repro.experiments.figures` — Figures 5–8 (score curves over the
+  parameter range for a representative ALOI data set).
+* :mod:`repro.experiments.ablation` — extra design-choice ablations.
+* :mod:`repro.experiments.reporting` — plain-text table rendering.
+"""
+
+from repro.experiments.config import (
+    ExperimentConfig,
+    PAPER_CONFIG,
+    QUICK_CONFIG,
+    default_config,
+    k_range_for_dataset,
+    MINPTS_RANGE,
+    LABEL_FRACTIONS,
+    CONSTRAINT_FRACTIONS,
+)
+from repro.experiments.runner import (
+    TrialResult,
+    run_trial,
+    run_trials,
+    make_side_information,
+    algorithm_factory,
+)
+from repro.experiments.correlation import correlation_table, CorrelationTable
+from repro.experiments.comparison import (
+    comparison_table,
+    ComparisonRow,
+    ComparisonTable,
+    aloi_distribution,
+)
+from repro.experiments.figures import parameter_curves, ParameterCurves
+from repro.experiments.ablation import (
+    closure_leakage_ablation,
+    fold_count_ablation,
+    scorer_ablation,
+)
+from repro.experiments.reporting import (
+    format_table,
+    format_correlation_table,
+    format_comparison_table,
+    format_boxplot_summary,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "PAPER_CONFIG",
+    "QUICK_CONFIG",
+    "default_config",
+    "k_range_for_dataset",
+    "MINPTS_RANGE",
+    "LABEL_FRACTIONS",
+    "CONSTRAINT_FRACTIONS",
+    "TrialResult",
+    "run_trial",
+    "run_trials",
+    "make_side_information",
+    "algorithm_factory",
+    "correlation_table",
+    "CorrelationTable",
+    "comparison_table",
+    "ComparisonRow",
+    "ComparisonTable",
+    "aloi_distribution",
+    "parameter_curves",
+    "ParameterCurves",
+    "closure_leakage_ablation",
+    "fold_count_ablation",
+    "scorer_ablation",
+    "format_table",
+    "format_correlation_table",
+    "format_comparison_table",
+    "format_boxplot_summary",
+]

@@ -1,0 +1,90 @@
+"""Score curves over the parameter range (Figures 5–8 of the paper).
+
+Each figure shows, for one representative ALOI data set and one amount of
+side information, the CVCP internal classification score and the external
+clustering score (Overall F-Measure) as functions of the swept parameter
+(MinPts for FOSC-OPTICSDend, k for MPCKMeans), together with their
+correlation coefficient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.base import Dataset
+from repro.datasets.registry import get_dataset
+from repro.experiments.config import ExperimentConfig, default_config
+from repro.experiments.runner import AlgorithmName, ScenarioName, run_trial
+from repro.utils.rng import RandomStateLike, check_random_state
+
+
+@dataclass
+class ParameterCurves:
+    """The data behind one of Figures 5–8.
+
+    Attributes
+    ----------
+    parameter_name:
+        ``"MinPts"`` or ``"k"``.
+    parameter_values:
+        X axis.
+    internal_scores:
+        "CVCP internal classification scores" curve.
+    external_scores:
+        "clustering scores" (Overall F-Measure) curve.
+    correlation:
+        Pearson correlation between the two curves (the figure captions
+        report 0.94–0.99 on the representative ALOI data set).
+    """
+
+    algorithm: AlgorithmName
+    scenario: ScenarioName
+    amount: float
+    parameter_name: str
+    parameter_values: list[int]
+    internal_scores: list[float]
+    external_scores: list[float]
+    correlation: float
+
+    def as_series(self) -> list[tuple[int, float, float]]:
+        """``(parameter, internal, external)`` triples for printing/plotting."""
+        return list(zip(self.parameter_values, self.internal_scores, self.external_scores))
+
+
+def parameter_curves(
+    algorithm: AlgorithmName,
+    scenario: ScenarioName,
+    *,
+    amount: float | None = None,
+    dataset: Dataset | None = None,
+    config: ExperimentConfig | None = None,
+    random_state: RandomStateLike = None,
+) -> ParameterCurves:
+    """Compute the curves of one figure.
+
+    Paper mapping: Figure 5 = ``("fosc", "labels")``, Figure 6 =
+    ``("mpck", "labels")``, Figure 7 = ``("fosc", "constraints")``,
+    Figure 8 = ``("mpck", "constraints")``; all four use 10% of labels /
+    10% of the constraint pool on a representative ALOI data set.
+    """
+    config = config or default_config()
+    rng = check_random_state(random_state if random_state is not None else config.seed)
+    if amount is None:
+        amount = 0.10
+    if dataset is None:
+        dataset = get_dataset("ALOI", random_state=int(rng.integers(0, 2**31 - 1)))
+
+    trial = run_trial(
+        dataset, algorithm, scenario, amount,
+        config=config, random_state=int(rng.integers(0, 2**31 - 1)),
+    )
+    return ParameterCurves(
+        algorithm=algorithm,
+        scenario=scenario,
+        amount=amount,
+        parameter_name="MinPts" if algorithm == "fosc" else "k",
+        parameter_values=trial.parameter_values,
+        internal_scores=trial.internal_scores,
+        external_scores=trial.external_scores,
+        correlation=trial.correlation,
+    )

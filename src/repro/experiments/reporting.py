@@ -1,0 +1,116 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints the regenerated tables/figures with these
+helpers so the output can be compared side by side with the paper (see
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.experiments.comparison import ComparisonTable
+from repro.experiments.correlation import CorrelationTable
+from repro.experiments.figures import ParameterCurves
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    float_format: str = "{:.4f}",
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` as a fixed-width text table."""
+    def _render(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        return str(cell)
+
+    rendered = [[_render(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(header)), *(len(row[i]) for row in rendered)) if rendered else len(str(header))
+        for i, header in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(header).ljust(width) for header, width in zip(headers, widths)))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_correlation_table(table: CorrelationTable, *, title: str | None = None) -> str:
+    """Render a Tables 1–4 style correlation table."""
+    headers = ["Percent", *table.datasets]
+    rows = [
+        [f"{int(round(amount * 100))}", *table.row(amount)]
+        for amount in table.amounts
+    ]
+    default_title = (
+        f"{table.algorithm.upper()} ({table.scenario} scenario) — "
+        "correlation of internal scores with Overall F-Measure"
+    )
+    return format_table(headers, rows, title=title or default_title)
+
+
+def format_comparison_table(table: ComparisonTable, *, title: str | None = None) -> str:
+    """Render a Tables 5–16 style comparison table."""
+    has_silhouette = any(row.silhouette for row in table.rows)
+    headers = ["Data set", "CVCP mean", "Exp mean"]
+    if has_silhouette:
+        headers.append("Silh mean")
+    headers += ["CVCP std", "Exp std"]
+    if has_silhouette:
+        headers.append("Silh std")
+    headers += ["winner", "significant"]
+
+    rows: list[list[object]] = []
+    for row in table.rows:
+        cells: list[object] = [row.dataset, row.cvcp_mean, row.expected_mean]
+        if has_silhouette:
+            cells.append(row.silhouette_mean)
+        cells += [row.cvcp_std, row.expected_std]
+        if has_silhouette:
+            cells.append(row.silhouette_std)
+        cells += [row.winner, "yes" if row.winner_significant else "no"]
+        rows.append(cells)
+
+    default_title = (
+        f"{table.algorithm.upper()} ({table.scenario} scenario) — average performance using "
+        f"{int(round(table.amount * 100))}% of side information"
+    )
+    return format_table(headers, rows, title=title or default_title)
+
+
+def format_curves(curves: ParameterCurves, *, title: str | None = None) -> str:
+    """Render a Figures 5–8 style curve as a value table."""
+    headers = [curves.parameter_name, "internal (CVCP)", "external (Overall F)"]
+    rows = [[value, internal, external] for value, internal, external in curves.as_series()]
+    default_title = (
+        f"{curves.algorithm.upper()} ({curves.scenario} scenario) — curves, "
+        f"correlation coefficient = {curves.correlation:.4f}"
+    )
+    return format_table(headers, rows, title=title or default_title)
+
+
+def format_boxplot_summary(distribution: dict[str, list[float]], *, title: str | None = None) -> str:
+    """Summarise the Figures 9–12 distributions as quartile rows."""
+    headers = ["box", "min", "q1", "median", "q3", "max", "mean"]
+    rows = []
+    for label, values in distribution.items():
+        array = np.asarray(values, dtype=np.float64)
+        rows.append([
+            label,
+            float(array.min()),
+            float(np.percentile(array, 25)),
+            float(np.median(array)),
+            float(np.percentile(array, 75)),
+            float(array.max()),
+            float(array.mean()),
+        ])
+    return format_table(headers, rows, title=title or "Quality distributions on the ALOI collection")

@@ -1,0 +1,255 @@
+"""Single-trial experiment drivers.
+
+One *trial* fixes a data set, an algorithm, a scenario (labels or
+constraints) and an amount of side information, then
+
+1. samples a fresh set of labelled objects (label scenario) or a fresh
+   constraint pool and subset (constraint scenario);
+2. runs CVCP over the algorithm's parameter range, recording the internal
+   (cross-validated constraint-classification) score of every value;
+3. runs the algorithm once per parameter value with *all* the side
+   information and records the external Overall F-Measure of each partition
+   (evaluated only on objects not involved in the side information);
+4. derives the quantities the paper reports: the quality of the
+   CVCP-selected parameter, the expected quality over the range, the
+   Silhouette-selected quality (MPCKMeans), and the internal/external
+   correlation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal, Sequence
+
+import numpy as np
+
+from repro.clustering.base import BaseClusterer
+from repro.clustering.fosc import FOSCOpticsDend
+from repro.clustering.mpckmeans import MPCKMeans
+from repro.constraints.constraint import ConstraintSet
+from repro.constraints.generation import (
+    build_constraint_pool,
+    constraints_from_labels,
+    sample_constraint_subset,
+    sample_labeled_objects,
+)
+from repro.core.cvcp import CVCP
+from repro.core.model_selection import expected_quality
+from repro.datasets.base import Dataset
+from repro.evaluation.external import overall_f_measure
+from repro.evaluation.internal import silhouette_score
+from repro.experiments.config import ExperimentConfig, default_config, k_range_for_dataset
+from repro.utils.rng import RandomStateLike, check_random_state, spawn_rng
+
+AlgorithmName = Literal["fosc", "mpck"]
+ScenarioName = Literal["labels", "constraints"]
+
+
+@dataclass
+class SideInformation:
+    """The side information sampled for one trial."""
+
+    scenario: ScenarioName
+    labeled_objects: dict[int, int] = field(default_factory=dict)
+    constraints: ConstraintSet = field(default_factory=ConstraintSet)
+
+    @property
+    def involved_objects(self) -> list[int]:
+        """Objects that must be excluded from the external evaluation."""
+        if self.scenario == "labels":
+            return sorted(self.labeled_objects)
+        return self.constraints.involved_objects()
+
+    def training_constraints(self) -> ConstraintSet:
+        """Constraints to feed to the clustering algorithm."""
+        if self.scenario == "labels":
+            return constraints_from_labels(self.labeled_objects)
+        return self.constraints
+
+
+@dataclass
+class TrialResult:
+    """Everything measured in one trial.
+
+    Attributes
+    ----------
+    parameter_values:
+        The swept values (MinPts or k).
+    internal_scores:
+        CVCP cross-validated internal score per parameter value.
+    external_scores:
+        Overall F-Measure per parameter value when clustering with all side
+        information (evaluated on non-side-information objects only).
+    cvcp_value / cvcp_quality:
+        Parameter selected by CVCP and its external quality.
+    expected_quality:
+        Mean external quality over the range (random-guess reference).
+    silhouette_value / silhouette_quality:
+        Parameter selected by the Silhouette baseline and its external
+        quality (populated for MPCKMeans; also computed for FOSC for the
+        extension experiments, even though the paper does not report it).
+    correlation:
+        Pearson correlation between internal and external scores across the
+        parameter range (the quantity of Tables 1–4).
+    """
+
+    algorithm: AlgorithmName
+    scenario: ScenarioName
+    amount: float
+    parameter_values: list[int]
+    internal_scores: list[float]
+    external_scores: list[float]
+    cvcp_value: int
+    cvcp_quality: float
+    expected_quality: float
+    silhouette_value: int
+    silhouette_quality: float
+    correlation: float
+
+
+def make_side_information(
+    dataset: Dataset,
+    scenario: ScenarioName,
+    amount: float,
+    *,
+    random_state: RandomStateLike = None,
+) -> SideInformation:
+    """Sample the side information for one trial.
+
+    * ``scenario="labels"``: reveal ``amount`` (e.g. 0.10) of all objects.
+    * ``scenario="constraints"``: build a pool from 10% of each class and
+      give ``amount`` of the pool to the algorithm.
+    """
+    rng = check_random_state(random_state)
+    if scenario == "labels":
+        labeled = sample_labeled_objects(dataset.y, amount, random_state=rng)
+        return SideInformation(scenario="labels", labeled_objects=labeled)
+    if scenario == "constraints":
+        pool = build_constraint_pool(dataset.y, fraction_per_class=0.10, random_state=rng)
+        subset = sample_constraint_subset(pool, amount, random_state=rng)
+        return SideInformation(scenario="constraints", constraints=subset)
+    raise ValueError(f"unknown scenario {scenario!r}")
+
+
+def algorithm_factory(
+    algorithm: AlgorithmName,
+    config: ExperimentConfig,
+    *,
+    random_state: RandomStateLike = None,
+) -> BaseClusterer:
+    """Instantiate the template estimator for an algorithm name."""
+    seed = int(check_random_state(random_state).integers(0, 2**31 - 1))
+    if algorithm == "fosc":
+        return FOSCOpticsDend(min_pts=5, random_state=seed)
+    if algorithm == "mpck":
+        return MPCKMeans(
+            n_clusters=3,
+            n_init=config.mpck_n_init,
+            max_iter=config.mpck_max_iter,
+            random_state=seed,
+        )
+    raise ValueError(f"unknown algorithm {algorithm!r}; expected 'fosc' or 'mpck'")
+
+
+def parameter_values_for(
+    algorithm: AlgorithmName, dataset: Dataset, config: ExperimentConfig
+) -> list[int]:
+    """The swept parameter range for an algorithm/data-set pair."""
+    if algorithm == "fosc":
+        return [value for value in config.minpts_range if value < dataset.n_samples]
+    return k_range_for_dataset(dataset, max_k=config.max_k)
+
+
+def run_trial(
+    dataset: Dataset,
+    algorithm: AlgorithmName,
+    scenario: ScenarioName,
+    amount: float,
+    *,
+    config: ExperimentConfig | None = None,
+    random_state: RandomStateLike = None,
+) -> TrialResult:
+    """Run one full trial (see the module docstring)."""
+    config = config or default_config()
+    rng = check_random_state(random_state)
+
+    side = make_side_information(dataset, scenario, amount, random_state=rng)
+    estimator = algorithm_factory(algorithm, config, random_state=rng)
+    values = parameter_values_for(algorithm, dataset, config)
+
+    # Internal scores through CVCP (no refit: the refits per parameter value
+    # below double as the final models).
+    search = CVCP(
+        estimator,
+        values,
+        n_folds=config.n_folds,
+        refit=False,
+        random_state=rng,
+    )
+    if scenario == "labels":
+        search.fit(dataset.X, labeled_objects=side.labeled_objects)
+    else:
+        search.fit(dataset.X, constraints=side.constraints)
+    internal_scores = [evaluation.mean_score for evaluation in search.cv_results_.evaluations]
+
+    # External quality of every parameter value with all side information.
+    training = side.training_constraints()
+    exclude = side.involved_objects
+    external_scores: list[float] = []
+    silhouettes: list[float] = []
+    for value in values:
+        model = estimator.clone(**{estimator.tuned_parameter: value})
+        if "random_state" in model.get_params():
+            model.set_params(random_state=int(rng.integers(0, 2**31 - 1)))
+        model.fit(dataset.X, constraints=training)
+        external_scores.append(
+            overall_f_measure(dataset.y, model.labels_, exclude=exclude)
+        )
+        silhouettes.append(silhouette_score(dataset.X, model.labels_))
+
+    cvcp_index = int(np.argmax(internal_scores))
+    silhouette_index = int(np.argmax(silhouettes))
+
+    return TrialResult(
+        algorithm=algorithm,
+        scenario=scenario,
+        amount=amount,
+        parameter_values=list(values),
+        internal_scores=internal_scores,
+        external_scores=external_scores,
+        cvcp_value=int(values[cvcp_index]),
+        cvcp_quality=float(external_scores[cvcp_index]),
+        expected_quality=expected_quality(external_scores),
+        silhouette_value=int(values[silhouette_index]),
+        silhouette_quality=float(external_scores[silhouette_index]),
+        correlation=_pearson(internal_scores, external_scores),
+    )
+
+
+def run_trials(
+    dataset: Dataset,
+    algorithm: AlgorithmName,
+    scenario: ScenarioName,
+    amount: float,
+    n_trials: int,
+    *,
+    config: ExperimentConfig | None = None,
+    random_state: RandomStateLike = None,
+) -> list[TrialResult]:
+    """Run ``n_trials`` independent trials, each with its own side information."""
+    config = config or default_config()
+    rng = check_random_state(random_state)
+    children = spawn_rng(rng, n_trials)
+    return [
+        run_trial(dataset, algorithm, scenario, amount, config=config, random_state=child)
+        for child in children
+    ]
+
+
+def _pearson(first: Sequence[float], second: Sequence[float]) -> float:
+    """Pearson correlation, 0 when either side has no variance."""
+    first = np.asarray(first, dtype=np.float64)
+    second = np.asarray(second, dtype=np.float64)
+    if first.size < 2 or first.std() == 0.0 or second.std() == 0.0:
+        return 0.0
+    return float(np.corrcoef(first, second)[0, 1])

@@ -1,0 +1,19 @@
+"""Small shared utilities (validation, RNG handling, disjoint sets)."""
+
+from repro.utils.disjoint_set import DisjointSet
+from repro.utils.rng import check_random_state
+from repro.utils.validation import (
+    check_array_2d,
+    check_labels,
+    check_fraction,
+    check_positive_int,
+)
+
+__all__ = [
+    "DisjointSet",
+    "check_random_state",
+    "check_array_2d",
+    "check_labels",
+    "check_fraction",
+    "check_positive_int",
+]

@@ -1,0 +1,85 @@
+"""Union-find (disjoint-set) data structure.
+
+Used for must-link components in the constraint closure, for connected
+components of constraint graphs, and for building single-linkage
+dendrograms from minimum-spanning-tree edges.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator
+
+
+class DisjointSet:
+    """Union-find with path compression and union by size.
+
+    Elements can be any hashable value and are added lazily via
+    :meth:`add`, :meth:`find`, or :meth:`union`.
+    """
+
+    def __init__(self, elements: Iterable[Hashable] = ()) -> None:
+        self._parent: dict[Hashable, Hashable] = {}
+        self._size: dict[Hashable, int] = {}
+        self._n_components = 0
+        for element in elements:
+            self.add(element)
+
+    def __contains__(self, element: Hashable) -> bool:
+        return element in self._parent
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._parent)
+
+    @property
+    def n_components(self) -> int:
+        """Number of disjoint groups currently tracked."""
+        return self._n_components
+
+    def add(self, element: Hashable) -> None:
+        """Register ``element`` as a singleton group if not yet present."""
+        if element not in self._parent:
+            self._parent[element] = element
+            self._size[element] = 1
+            self._n_components += 1
+
+    def find(self, element: Hashable) -> Hashable:
+        """Return the canonical representative of ``element``'s group."""
+        self.add(element)
+        root = element
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression.
+        while self._parent[element] != root:
+            self._parent[element], element = root, self._parent[element]
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> Hashable:
+        """Merge the groups of ``a`` and ``b``; return the surviving root."""
+        root_a = self.find(a)
+        root_b = self.find(b)
+        if root_a == root_b:
+            return root_a
+        if self._size[root_a] < self._size[root_b]:
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        self._size[root_a] += self._size[root_b]
+        self._n_components -= 1
+        return root_a
+
+    def connected(self, a: Hashable, b: Hashable) -> bool:
+        """Whether ``a`` and ``b`` are currently in the same group."""
+        return self.find(a) == self.find(b)
+
+    def group_size(self, element: Hashable) -> int:
+        """Size of the group containing ``element``."""
+        return self._size[self.find(element)]
+
+    def groups(self) -> list[list[Hashable]]:
+        """All groups as lists of members (each list in insertion order)."""
+        by_root: dict[Hashable, list[Hashable]] = {}
+        for element in self._parent:
+            by_root.setdefault(self.find(element), []).append(element)
+        return list(by_root.values())

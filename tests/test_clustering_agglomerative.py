@@ -1,0 +1,58 @@
+"""Unit tests for agglomerative hierarchical clustering."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import AgglomerativeClustering
+from repro.evaluation import adjusted_rand_index
+
+
+class TestAgglomerativeClustering:
+    @pytest.mark.parametrize("linkage", ["single", "complete", "average"])
+    def test_recovers_separated_blobs(self, blobs_dataset, linkage):
+        model = AgglomerativeClustering(n_clusters=3, linkage=linkage).fit(blobs_dataset.X)
+        assert adjusted_rand_index(blobs_dataset.y, model.labels_) > 0.95
+
+    def test_single_linkage_handles_moons(self, moons_dataset):
+        model = AgglomerativeClustering(n_clusters=2, linkage="single").fit(moons_dataset.X)
+        assert adjusted_rand_index(moons_dataset.y, model.labels_) > 0.8
+
+    def test_number_of_clusters_is_respected(self, blobs_dataset):
+        for k in (1, 2, 4, 7):
+            model = AgglomerativeClustering(n_clusters=k).fit(blobs_dataset.X)
+            assert model.n_clusters_ == k
+
+    def test_merge_tree_shape(self, blobs_dataset):
+        model = AgglomerativeClustering(n_clusters=2).fit(blobs_dataset.X)
+        assert model.merge_tree_.shape == (blobs_dataset.n_samples - 1, 4)
+        # Final merge contains everything.
+        assert model.merge_tree_[-1, 3] == blobs_dataset.n_samples
+
+    def test_average_linkage_merge_distances_monotone(self, blobs_dataset):
+        model = AgglomerativeClustering(n_clusters=2, linkage="average").fit(blobs_dataset.X)
+        distances = model.merge_tree_[:, 2]
+        assert (np.diff(distances) >= -1e-9).all()
+
+    def test_invalid_linkage(self, blobs_dataset):
+        with pytest.raises(ValueError):
+            AgglomerativeClustering(n_clusters=2, linkage="ward").fit(blobs_dataset.X)
+
+    def test_too_many_clusters(self):
+        with pytest.raises(ValueError):
+            AgglomerativeClustering(n_clusters=5).fit(np.zeros((3, 2)))
+
+    def test_n_clusters_equals_n_samples(self):
+        X = np.arange(8, dtype=float).reshape(4, 2)
+        model = AgglomerativeClustering(n_clusters=4).fit(X)
+        assert model.n_clusters_ == 4
+
+    def test_usable_inside_cvcp(self, blobs_dataset, rng):
+        """An unsupervised estimator can still be model-selected by CVCP."""
+        from repro.constraints import sample_labeled_objects
+        from repro.core import CVCP
+
+        side = sample_labeled_objects(blobs_dataset.y, 0.2, random_state=0)
+        search = CVCP(AgglomerativeClustering(linkage="average"), [2, 3, 4, 5],
+                      n_folds=3, random_state=0)
+        search.fit(blobs_dataset.X, labeled_objects=side)
+        assert search.best_params_["n_clusters"] == 3

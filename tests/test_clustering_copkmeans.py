@@ -1,0 +1,58 @@
+"""Unit tests for COP-KMeans (hard-constrained k-means)."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import COPKMeans
+from repro.clustering.copkmeans import ConstraintViolationError
+from repro.constraints import ConstraintSet, cannot_link, constraints_from_labels, must_link
+from repro.evaluation import adjusted_rand_index
+
+
+class TestCOPKMeans:
+    def test_unconstrained_behaves_like_kmeans(self, blobs_dataset):
+        model = COPKMeans(n_clusters=3, random_state=0).fit(blobs_dataset.X)
+        assert adjusted_rand_index(blobs_dataset.y, model.labels_) > 0.9
+
+    def test_must_links_are_respected(self, blobs_dataset):
+        y = blobs_dataset.y
+        # Link pairs across the true clusters and check they end up together.
+        constraints = ConstraintSet([must_link(0, 20), must_link(1, 40)])
+        model = COPKMeans(n_clusters=3, random_state=0).fit(blobs_dataset.X, constraints)
+        assert model.labels_[0] == model.labels_[20]
+        assert model.labels_[1] == model.labels_[40]
+        assert y is blobs_dataset.y  # fixture untouched
+
+    def test_cannot_links_are_respected(self, blobs_dataset):
+        constraints = ConstraintSet([cannot_link(0, 1), cannot_link(0, 2)])
+        model = COPKMeans(n_clusters=3, random_state=0).fit(blobs_dataset.X, constraints)
+        assert model.labels_[0] != model.labels_[1]
+        assert model.labels_[0] != model.labels_[2]
+
+    def test_seed_labels_are_converted_to_constraints(self, blobs_dataset):
+        seed_labels = {0: 0, 1: 0, 20: 1, 21: 1, 40: 2, 41: 2}
+        model = COPKMeans(n_clusters=3, random_state=0).fit(
+            blobs_dataset.X, seed_labels=seed_labels
+        )
+        assert model.labels_[0] == model.labels_[1]
+        assert model.labels_[20] == model.labels_[21]
+        assert model.labels_[0] != model.labels_[20]
+
+    def test_infeasible_constraints_raise(self):
+        X = np.array([[0.0, 0.0], [0.1, 0.0], [5.0, 5.0]])
+        # Three mutually cannot-linked points cannot fit in two clusters.
+        constraints = ConstraintSet(
+            [cannot_link(0, 1), cannot_link(1, 2), cannot_link(0, 2)]
+        )
+        with pytest.raises(ConstraintViolationError):
+            COPKMeans(n_clusters=2, n_init=2, max_retries=2, random_state=0).fit(X, constraints)
+
+    def test_all_constraints_satisfied_in_solution(self, blobs_dataset, rng):
+        labeled = {int(i): int(blobs_dataset.y[i]) for i in rng.choice(60, 12, replace=False)}
+        constraints = constraints_from_labels(labeled)
+        model = COPKMeans(n_clusters=3, random_state=1).fit(blobs_dataset.X, constraints)
+        assert constraints.satisfied_by(model.labels_) == len(constraints)
+
+    def test_too_many_clusters_raises(self):
+        with pytest.raises(ValueError):
+            COPKMeans(n_clusters=5).fit(np.zeros((3, 2)))

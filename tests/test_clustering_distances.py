@@ -1,0 +1,105 @@
+"""Unit tests for the distance utilities."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.distances import (
+    diagonal_mahalanobis_distances,
+    euclidean_distances,
+    k_nearest_distances,
+    pairwise_distances,
+    weighted_squared_distance,
+)
+
+
+@pytest.fixture()
+def points():
+    return np.array([[0.0, 0.0], [3.0, 4.0], [0.0, 1.0]])
+
+
+class TestEuclideanDistances:
+    def test_known_values(self, points):
+        distances = euclidean_distances(points)
+        assert distances[0, 1] == pytest.approx(5.0)
+        assert distances[0, 2] == pytest.approx(1.0)
+        assert np.allclose(np.diag(distances), 0.0)
+
+    def test_symmetry(self, points):
+        distances = euclidean_distances(points)
+        assert np.allclose(distances, distances.T)
+
+    def test_squared_option(self, points):
+        squared = euclidean_distances(points, squared=True)
+        assert squared[0, 1] == pytest.approx(25.0)
+
+    def test_cross_distances(self, points):
+        other = np.array([[1.0, 0.0]])
+        distances = euclidean_distances(points, other)
+        assert distances.shape == (3, 1)
+        assert distances[0, 0] == pytest.approx(1.0)
+
+    def test_no_negative_from_rounding(self):
+        X = np.random.default_rng(0).normal(size=(50, 20)) * 1e-8
+        assert (euclidean_distances(X, squared=True) >= 0).all()
+
+
+class TestPairwiseDistances:
+    def test_metrics_agree_on_identity(self, points):
+        for metric in ("euclidean", "sqeuclidean", "manhattan", "cosine"):
+            distances = pairwise_distances(points, metric=metric)
+            assert distances.shape == (3, 3)
+            assert np.allclose(np.diag(distances), 0.0, atol=1e-12)
+
+    def test_manhattan_known_value(self, points):
+        distances = pairwise_distances(points, metric="manhattan")
+        assert distances[0, 1] == pytest.approx(7.0)
+
+    def test_cosine_orthogonal_vectors(self):
+        X = np.array([[1.0, 0.0], [0.0, 1.0]])
+        distances = pairwise_distances(X, metric="cosine")
+        assert distances[0, 1] == pytest.approx(1.0)
+
+    def test_unknown_metric(self, points):
+        with pytest.raises(ValueError):
+            pairwise_distances(points, metric="chebyshev")
+
+
+class TestDiagonalMahalanobis:
+    def test_identity_weights_match_euclidean(self, points):
+        centers = points[:2]
+        weights = np.ones_like(centers)
+        result = diagonal_mahalanobis_distances(points, centers, weights)
+        expected = euclidean_distances(points, centers, squared=True)
+        assert np.allclose(result, expected)
+
+    def test_weighting_scales_dimensions(self):
+        X = np.array([[1.0, 1.0]])
+        centers = np.array([[0.0, 0.0]])
+        weights = np.array([[4.0, 1.0]])
+        assert diagonal_mahalanobis_distances(X, centers, weights)[0, 0] == pytest.approx(5.0)
+
+    def test_shape_mismatch(self, points):
+        with pytest.raises(ValueError):
+            diagonal_mahalanobis_distances(points, points[:2], np.ones((3, 2)))
+
+    def test_weighted_squared_distance(self):
+        assert weighted_squared_distance([0, 0], [1, 2], [1, 1]) == pytest.approx(5.0)
+        assert weighted_squared_distance([0, 0], [1, 2], [2, 0.5]) == pytest.approx(4.0)
+
+
+class TestKNearestDistances:
+    def test_core_distance_semantics(self):
+        X = np.array([[0.0], [1.0], [2.0], [10.0]])
+        distances = pairwise_distances(X)
+        # k=1 is the point itself: distance 0.
+        assert np.allclose(k_nearest_distances(distances, 1), 0.0)
+        core2 = k_nearest_distances(distances, 2)
+        assert core2[0] == pytest.approx(1.0)
+        assert core2[3] == pytest.approx(8.0)
+
+    def test_k_out_of_range(self):
+        distances = pairwise_distances(np.array([[0.0], [1.0]]))
+        with pytest.raises(ValueError):
+            k_nearest_distances(distances, 3)
+        with pytest.raises(ValueError):
+            k_nearest_distances(distances, 0)

@@ -1,0 +1,63 @@
+"""Unit tests for OPTICS."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import OPTICS
+from repro.evaluation import adjusted_rand_index
+
+
+class TestOPTICS:
+    def test_ordering_is_a_permutation(self, blobs_dataset):
+        model = OPTICS(min_pts=5).fit(blobs_dataset.X)
+        assert sorted(model.ordering_.tolist()) == list(range(blobs_dataset.n_samples))
+
+    def test_core_distances_monotone_in_min_pts(self, blobs_dataset):
+        small = OPTICS(min_pts=3).fit(blobs_dataset.X).core_distances_
+        large = OPTICS(min_pts=10).fit(blobs_dataset.X).core_distances_
+        assert (large >= small - 1e-12).all()
+
+    def test_reachability_first_point_is_infinite(self, blobs_dataset):
+        model = OPTICS(min_pts=5).fit(blobs_dataset.X)
+        first = model.ordering_[0]
+        assert np.isinf(model.reachability_[first])
+
+    def test_reachability_plot_shapes(self, blobs_dataset):
+        model = OPTICS(min_pts=5).fit(blobs_dataset.X)
+        ordering, reachability = model.reachability_plot()
+        assert ordering.shape == reachability.shape == (blobs_dataset.n_samples,)
+
+    def test_extract_dbscan_recovers_blobs(self, blobs_dataset):
+        model = OPTICS(min_pts=4).fit(blobs_dataset.X)
+        labels = model.extract_dbscan(eps=2.0)
+        assert adjusted_rand_index(blobs_dataset.y, labels) > 0.9
+
+    def test_extract_dbscan_eps_validation(self, blobs_dataset):
+        model = OPTICS(min_pts=4).fit(blobs_dataset.X)
+        with pytest.raises(ValueError):
+            model.extract_dbscan(0.0)
+
+    def test_reachability_valleys_separate_clusters(self, blobs_dataset):
+        """Large reachability jumps should appear between the three blobs."""
+        model = OPTICS(min_pts=4).fit(blobs_dataset.X)
+        _, reachability = model.reachability_plot()
+        finite = reachability[np.isfinite(reachability)]
+        # The between-cluster jumps are much larger than the typical
+        # within-cluster reachability.
+        assert finite.max() > 4 * np.median(finite)
+
+    def test_min_pts_larger_than_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            OPTICS(min_pts=10).fit(np.zeros((4, 2)))
+
+    def test_not_fitted_errors(self):
+        model = OPTICS(min_pts=3)
+        with pytest.raises(AttributeError):
+            model.reachability_plot()
+        with pytest.raises(AttributeError):
+            model.extract_dbscan(1.0)
+
+    def test_finite_eps_produces_flat_labels(self, blobs_dataset):
+        model = OPTICS(min_pts=4, eps=2.0).fit(blobs_dataset.X)
+        assert model.labels_.shape == (blobs_dataset.n_samples,)
+        assert model.n_clusters_ >= 2

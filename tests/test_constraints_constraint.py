@@ -1,0 +1,156 @@
+"""Unit tests for the Constraint value type and ConstraintSet container."""
+
+import numpy as np
+import pytest
+
+from repro.constraints import (
+    CANNOT_LINK,
+    MUST_LINK,
+    Constraint,
+    ConstraintSet,
+    cannot_link,
+    must_link,
+)
+
+
+class TestConstraint:
+    def test_normalises_index_order(self):
+        constraint = Constraint(5, 2, MUST_LINK)
+        assert constraint.pair == (2, 5)
+        assert constraint.i == 2 and constraint.j == 5
+
+    def test_equality_is_order_independent(self):
+        assert must_link(1, 2) == must_link(2, 1)
+        assert cannot_link(3, 7) == Constraint(7, 3, CANNOT_LINK)
+
+    def test_rejects_self_constraint(self):
+        with pytest.raises(ValueError):
+            Constraint(4, 4, MUST_LINK)
+
+    def test_rejects_invalid_kind(self):
+        with pytest.raises(ValueError):
+            Constraint(0, 1, 2)
+
+    def test_kind_predicates(self):
+        assert must_link(0, 1).is_must_link
+        assert not must_link(0, 1).is_cannot_link
+        assert cannot_link(0, 1).is_cannot_link
+
+    def test_involves_and_other(self):
+        constraint = must_link(3, 9)
+        assert constraint.involves(3) and constraint.involves(9)
+        assert not constraint.involves(4)
+        assert constraint.other(3) == 9
+        assert constraint.other(9) == 3
+        with pytest.raises(ValueError):
+            constraint.other(1)
+
+    def test_hashable_and_usable_in_sets(self):
+        pairs = {must_link(1, 2), must_link(2, 1), cannot_link(1, 2)}
+        assert len(pairs) == 2
+
+
+class TestConstraintSet:
+    def test_empty_set(self):
+        constraints = ConstraintSet()
+        assert len(constraints) == 0
+        assert constraints.involved_objects() == []
+        assert constraints.must_link_array().shape == (0, 2)
+
+    def test_deduplicates(self):
+        constraints = ConstraintSet([must_link(0, 1), must_link(1, 0)])
+        assert len(constraints) == 1
+
+    def test_conflicting_constraint_rejected(self):
+        constraints = ConstraintSet([must_link(0, 1)])
+        with pytest.raises(ValueError, match="conflicting"):
+            constraints.add(cannot_link(0, 1))
+
+    def test_from_arrays_and_counts(self):
+        constraints = ConstraintSet.from_arrays(
+            must_links=[(0, 1), (2, 3)], cannot_links=[(1, 2)]
+        )
+        assert constraints.n_must_link == 2
+        assert constraints.n_cannot_link == 1
+        assert set(constraints.involved_objects()) == {0, 1, 2, 3}
+
+    def test_kind_of(self):
+        constraints = ConstraintSet([must_link(0, 1), cannot_link(2, 5)])
+        assert constraints.kind_of(1, 0) == MUST_LINK
+        assert constraints.kind_of(5, 2) == CANNOT_LINK
+        assert constraints.kind_of(0, 2) is None
+        assert constraints.kind_of(3, 3) is None
+
+    def test_contains_respects_kind(self):
+        constraints = ConstraintSet([must_link(0, 1)])
+        assert must_link(0, 1) in constraints
+        assert cannot_link(0, 1) not in constraints
+
+    def test_discard(self):
+        constraints = ConstraintSet([must_link(0, 1), cannot_link(1, 2)])
+        constraints.discard(must_link(0, 1))
+        assert len(constraints) == 1
+        # Discarding with the wrong kind is a no-op.
+        constraints.discard(must_link(1, 2))
+        assert len(constraints) == 1
+
+    def test_restricted_to(self):
+        constraints = ConstraintSet([must_link(0, 1), must_link(2, 3), cannot_link(1, 2)])
+        restricted = constraints.restricted_to([0, 1, 2])
+        assert must_link(0, 1) in restricted
+        assert cannot_link(1, 2) in restricted
+        assert must_link(2, 3) not in restricted
+
+    def test_without_objects(self):
+        constraints = ConstraintSet([must_link(0, 1), must_link(2, 3), cannot_link(1, 2)])
+        filtered = constraints.without_objects([1])
+        assert len(filtered) == 1
+        assert must_link(2, 3) in filtered
+
+    def test_remap(self):
+        constraints = ConstraintSet([must_link(10, 20), cannot_link(20, 30)])
+        remapped = constraints.remap({10: 0, 20: 1, 30: 2})
+        assert must_link(0, 1) in remapped
+        assert cannot_link(1, 2) in remapped
+        # Objects missing from the map drop their constraints.
+        partial = constraints.remap({10: 0, 20: 1})
+        assert len(partial) == 1
+
+    def test_merged_with(self):
+        first = ConstraintSet([must_link(0, 1)])
+        second = ConstraintSet([cannot_link(2, 3)])
+        merged = first.merged_with(second)
+        assert len(merged) == 2
+        assert len(first) == 1  # original untouched
+
+    def test_copy_is_independent(self):
+        original = ConstraintSet([must_link(0, 1)])
+        clone = original.copy()
+        clone.add(cannot_link(4, 5))
+        assert len(original) == 1
+        assert len(clone) == 2
+
+    def test_array_views(self):
+        constraints = ConstraintSet([must_link(0, 1), cannot_link(2, 3), must_link(4, 5)])
+        ml = constraints.must_link_array()
+        cl = constraints.cannot_link_array()
+        assert ml.shape == (2, 2)
+        assert cl.shape == (1, 2)
+        i_idx, j_idx, kinds = constraints.as_arrays()
+        assert i_idx.shape == (3,)
+        assert set(kinds.tolist()) == {MUST_LINK, CANNOT_LINK}
+
+    def test_satisfied_by_counts(self):
+        constraints = ConstraintSet([must_link(0, 1), cannot_link(1, 2), must_link(2, 3)])
+        labels = np.array([0, 0, 1, 1])
+        # ML(0,1) satisfied, CL(1,2) satisfied, ML(2,3) satisfied.
+        assert constraints.satisfied_by(labels) == 3
+        labels = np.array([0, 1, 1, 0])
+        # ML(0,1) violated, CL(1,2) violated, ML(2,3) violated.
+        assert constraints.satisfied_by(labels) == 0
+
+    def test_satisfied_by_treats_noise_as_singleton(self):
+        constraints = ConstraintSet([must_link(0, 1), cannot_link(2, 3)])
+        labels = np.array([-1, -1, -1, -1])
+        # Noise objects are never in the same cluster: ML violated, CL satisfied.
+        assert constraints.satisfied_by(labels) == 1

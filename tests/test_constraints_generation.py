@@ -1,0 +1,117 @@
+"""Unit tests for side-information generation (Section 4.1 setup)."""
+
+import numpy as np
+import pytest
+
+from repro.constraints import (
+    ConstraintSet,
+    build_constraint_pool,
+    constraints_from_labels,
+    sample_constraint_subset,
+    sample_labeled_objects,
+)
+from repro.constraints.generation import random_constraints
+
+
+@pytest.fixture()
+def labels():
+    return np.repeat([0, 1, 2], 30)
+
+
+class TestSampleLabeledObjects:
+    def test_fraction_of_objects(self, labels):
+        revealed = sample_labeled_objects(labels, 0.10, random_state=0)
+        assert len(revealed) == 9
+        for index, label in revealed.items():
+            assert labels[index] == label
+
+    def test_minimum_two_objects(self, labels):
+        revealed = sample_labeled_objects(labels, 0.001, random_state=0)
+        assert len(revealed) >= 2
+
+    def test_stratified_covers_every_class(self, labels):
+        revealed = sample_labeled_objects(labels, 0.10, random_state=0,
+                                          stratified=True, min_per_class=2)
+        assert set(revealed.values()) == {0, 1, 2}
+
+    def test_deterministic_given_seed(self, labels):
+        first = sample_labeled_objects(labels, 0.2, random_state=42)
+        second = sample_labeled_objects(labels, 0.2, random_state=42)
+        assert first == second
+
+    def test_invalid_fraction(self, labels):
+        with pytest.raises(ValueError):
+            sample_labeled_objects(labels, 0.0)
+        with pytest.raises(ValueError):
+            sample_labeled_objects(labels, 1.5)
+
+
+class TestConstraintsFromLabels:
+    def test_all_pairs_generated(self):
+        constraints = constraints_from_labels({0: 0, 1: 0, 2: 1})
+        assert len(constraints) == 3
+        assert constraints.n_must_link == 1
+        assert constraints.n_cannot_link == 2
+
+    def test_accepts_sequence_of_pairs(self):
+        constraints = constraints_from_labels([(5, 1), (9, 1), (2, 0)])
+        assert constraints.n_must_link == 1
+        assert constraints.n_cannot_link == 2
+
+    def test_empty_labelling(self):
+        assert len(constraints_from_labels({})) == 0
+
+    def test_closure_property(self):
+        """Constraints derived from labels are already transitively closed."""
+        from repro.constraints import transitive_closure
+
+        constraints = constraints_from_labels({0: 0, 1: 0, 2: 0, 3: 1, 4: 1})
+        assert transitive_closure(constraints) == constraints
+
+
+class TestConstraintPool:
+    def test_pool_respects_per_class_fraction(self, labels):
+        pool = build_constraint_pool(labels, fraction_per_class=0.10,
+                                     min_per_class=2, random_state=0)
+        objects = pool.involved_objects()
+        # 10% of 30 = 3 objects per class.
+        assert len(objects) == 9
+        per_class = {cls: sum(1 for o in objects if labels[o] == cls) for cls in (0, 1, 2)}
+        assert all(count == 3 for count in per_class.values())
+        # All pairs between the 9 selected objects.
+        assert len(pool) == 9 * 8 // 2
+
+    def test_min_per_class_respected_for_small_classes(self):
+        tiny = np.array([0, 0, 1, 1, 1, 1, 1, 1, 1, 1])
+        pool = build_constraint_pool(tiny, fraction_per_class=0.10,
+                                     min_per_class=2, random_state=1)
+        objects = pool.involved_objects()
+        assert sum(1 for o in objects if tiny[o] == 0) == 2
+
+    def test_sample_constraint_subset(self, labels):
+        pool = build_constraint_pool(labels, random_state=0)
+        subset = sample_constraint_subset(pool, 0.20, random_state=0)
+        assert len(subset) == round(0.20 * len(pool))
+        for constraint in subset:
+            assert constraint in pool
+
+    def test_sample_subset_of_empty_pool(self):
+        assert len(sample_constraint_subset(ConstraintSet(), 0.5)) == 0
+
+    def test_subset_minimum(self, labels):
+        pool = build_constraint_pool(labels, random_state=0)
+        subset = sample_constraint_subset(pool, 0.0001, random_state=0, min_constraints=2)
+        assert len(subset) >= 2
+
+
+class TestRandomConstraints:
+    def test_count_and_consistency_with_ground_truth(self, labels):
+        constraints = random_constraints(labels, 25, random_state=0)
+        assert len(constraints) == 25
+        for constraint in constraints:
+            same_class = labels[constraint.i] == labels[constraint.j]
+            assert constraint.is_must_link == bool(same_class)
+
+    def test_too_many_pairs_rejected(self):
+        with pytest.raises(ValueError):
+            random_constraints(np.array([0, 1, 1]), 10, random_state=0)

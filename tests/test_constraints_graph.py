@@ -1,0 +1,64 @@
+"""Unit tests for the constraint-graph view."""
+
+from repro.constraints import ConstraintSet, cannot_link, must_link
+from repro.constraints.graph import ConstraintGraph, graph_from_pairs
+
+
+class TestConstraintGraph:
+    def test_vertices_and_edges(self, simple_constraints):
+        graph = ConstraintGraph(simple_constraints)
+        assert graph.n_vertices == 4
+        assert graph.n_edges == 3
+        assert graph.vertices() == [0, 1, 2, 3]
+
+    def test_neighbors_and_degree(self, simple_constraints):
+        graph = ConstraintGraph(simple_constraints)
+        assert graph.degree(1) == 2
+        assert set(graph.neighbors(1)) == {0, 2}
+        assert graph.neighbors(3) == {2: 1}
+        assert graph.degree(99) == 0
+
+    def test_connected_components_all_edges(self, simple_constraints):
+        graph = ConstraintGraph(simple_constraints)
+        assert graph.connected_components() == [[0, 1, 2, 3]]
+
+    def test_connected_components_must_link_only(self, simple_constraints):
+        graph = ConstraintGraph(simple_constraints)
+        assert graph.connected_components(must_link_only=True) == [[0, 1], [2, 3]]
+
+    def test_component_of(self, simple_constraints):
+        graph = ConstraintGraph(simple_constraints)
+        assert graph.component_of(0, must_link_only=True) == [0, 1]
+        assert graph.component_of(42) == []
+
+    def test_cut_edges(self, simple_constraints):
+        graph = ConstraintGraph(simple_constraints)
+        assignment = {0: 0, 1: 0, 2: 1, 3: 1}
+        cut = graph.cut_edges(assignment)
+        assert len(cut) == 1
+        assert cannot_link(1, 2) in cut
+
+    def test_cut_edges_ignores_unassigned(self, simple_constraints):
+        graph = ConstraintGraph(simple_constraints)
+        cut = graph.cut_edges({0: 0, 1: 1})
+        assert len(cut) == 1
+        assert must_link(0, 1) in cut
+
+    def test_induced_subgraph(self, simple_constraints):
+        graph = ConstraintGraph(simple_constraints)
+        induced = graph.induced([0, 1, 2])
+        assert induced.n_edges == 2
+        assert induced.n_vertices == 3
+
+    def test_adjacency_matrix(self, simple_constraints):
+        graph = ConstraintGraph(simple_constraints)
+        matrix = graph.adjacency_matrix(4)
+        assert matrix[0, 1] == 1 and matrix[1, 0] == 1
+        assert matrix[1, 2] == -1 and matrix[2, 1] == -1
+        assert matrix[0, 3] == 0
+        assert (matrix == matrix.T).all()
+
+    def test_graph_from_pairs(self):
+        graph = graph_from_pairs(must_links=[(0, 1)], cannot_links=[(1, 2)])
+        assert graph.n_edges == 2
+        assert graph.constraints.kind_of(0, 1) == 1

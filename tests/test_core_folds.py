@@ -1,0 +1,133 @@
+"""Unit tests for constraint-aware cross-validation folds (Scenario I and II)."""
+
+import numpy as np
+import pytest
+
+from repro.constraints import (
+    ConstraintSet,
+    cannot_link,
+    constraints_from_labels,
+    must_link,
+    transitive_closure,
+)
+from repro.core import constraint_scenario_folds, label_scenario_folds, make_folds
+
+
+@pytest.fixture()
+def labeled_objects():
+    # Twelve labelled objects from three classes.
+    return {i: i % 3 for i in range(12)}
+
+
+class TestScenarioIFolds:
+    def test_number_of_folds(self, labeled_objects):
+        folds = label_scenario_folds(labeled_objects, 4, random_state=0)
+        assert len(folds) == 4
+
+    def test_every_object_is_in_exactly_one_test_fold(self, labeled_objects):
+        folds = label_scenario_folds(labeled_objects, 4, random_state=0)
+        test_objects = [obj for fold in folds for obj in fold.test_objects]
+        assert sorted(test_objects) == sorted(labeled_objects)
+
+    def test_training_and_test_objects_are_disjoint(self, labeled_objects):
+        for fold in label_scenario_folds(labeled_objects, 3, random_state=1):
+            assert not (set(fold.training_objects) & set(fold.test_objects))
+
+    def test_training_labels_match_input(self, labeled_objects):
+        for fold in label_scenario_folds(labeled_objects, 3, random_state=0):
+            for index, label in fold.training_labels.items():
+                assert labeled_objects[index] == label
+
+    def test_test_constraints_only_touch_test_objects(self, labeled_objects):
+        for fold in label_scenario_folds(labeled_objects, 4, random_state=2):
+            test_set = set(fold.test_objects)
+            for constraint in fold.test_constraints:
+                assert constraint.i in test_set and constraint.j in test_set
+
+    def test_no_information_leakage(self, labeled_objects):
+        """No test constraint may appear in the closure of the training information."""
+        for fold in label_scenario_folds(labeled_objects, 4, random_state=3):
+            training_closure = transitive_closure(fold.training_constraints, strict=False)
+            for constraint in fold.test_constraints:
+                assert constraint not in training_closure
+
+    def test_fold_count_capped_at_object_count(self):
+        folds = label_scenario_folds({0: 0, 1: 1, 2: 0}, 10, random_state=0)
+        assert len(folds) == 3
+
+    def test_skip_training_constraint_derivation(self, labeled_objects):
+        folds = label_scenario_folds(
+            labeled_objects, 3, random_state=0, derive_training_constraints=False
+        )
+        assert all(len(fold.training_constraints) == 0 for fold in folds)
+        assert all(len(fold.training_labels) > 0 for fold in folds)
+
+    def test_empty_labelling_rejected(self):
+        with pytest.raises(ValueError):
+            label_scenario_folds({}, 3)
+
+    def test_single_object_rejected(self):
+        with pytest.raises(ValueError):
+            label_scenario_folds({0: 1}, 3)
+
+    def test_reproducible_with_seed(self, labeled_objects):
+        first = label_scenario_folds(labeled_objects, 4, random_state=9)
+        second = label_scenario_folds(labeled_objects, 4, random_state=9)
+        assert [f.test_objects for f in first] == [f.test_objects for f in second]
+
+
+class TestScenarioIIFolds:
+    @pytest.fixture()
+    def constraints(self, labeled_objects):
+        return constraints_from_labels(labeled_objects)
+
+    def test_number_of_folds(self, constraints):
+        folds = constraint_scenario_folds(constraints, 4, random_state=0)
+        assert len(folds) == 4
+
+    def test_cross_fold_constraints_removed(self, constraints):
+        for fold in constraint_scenario_folds(constraints, 4, random_state=0):
+            training_set = set(fold.training_objects)
+            test_set = set(fold.test_objects)
+            for constraint in fold.training_constraints:
+                assert constraint.i in training_set and constraint.j in training_set
+            for constraint in fold.test_constraints:
+                assert constraint.i in test_set and constraint.j in test_set
+
+    def test_no_information_leakage(self, constraints):
+        for fold in constraint_scenario_folds(constraints, 4, random_state=1):
+            training_closure = transitive_closure(fold.training_constraints, strict=False)
+            for constraint in fold.test_constraints:
+                assert constraint not in training_closure
+
+    def test_both_sides_are_closed(self, constraints):
+        for fold in constraint_scenario_folds(constraints, 3, random_state=2):
+            assert transitive_closure(fold.training_constraints, strict=False) == fold.training_constraints
+            assert transitive_closure(fold.test_constraints, strict=False) == fold.test_constraints
+
+    def test_paper_figure_2_example_splits_cleanly(self):
+        constraints = ConstraintSet([must_link(0, 1), must_link(2, 3), cannot_link(1, 2)])
+        folds = constraint_scenario_folds(constraints, 2, random_state=0)
+        for fold in folds:
+            training_closure = transitive_closure(fold.training_constraints, strict=False)
+            for constraint in fold.test_constraints:
+                assert constraint not in training_closure
+
+    def test_empty_constraints_rejected(self):
+        with pytest.raises(ValueError):
+            constraint_scenario_folds(ConstraintSet(), 3)
+
+
+class TestMakeFolds:
+    def test_dispatch_to_labels(self, labeled_objects):
+        folds = make_folds(labeled_objects=labeled_objects, n_folds=3, random_state=0)
+        assert all(fold.training_labels for fold in folds)
+
+    def test_dispatch_to_constraints(self, labeled_objects):
+        constraints = constraints_from_labels(labeled_objects)
+        folds = make_folds(constraints=constraints, n_folds=3, random_state=0)
+        assert all(not fold.training_labels for fold in folds)
+
+    def test_nothing_provided(self):
+        with pytest.raises(ValueError):
+            make_folds(n_folds=3)

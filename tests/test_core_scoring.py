@@ -1,0 +1,86 @@
+"""Unit tests for the constraint-classification scoring (Section 3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.constraints import ConstraintSet, cannot_link, must_link
+from repro.core import SCORERS, constraint_accuracy_score, constraint_f_score, score_partition
+
+
+@pytest.fixture()
+def constraints():
+    return ConstraintSet([
+        must_link(0, 1),
+        must_link(2, 3),
+        cannot_link(0, 2),
+        cannot_link(1, 3),
+    ])
+
+
+class TestConstraintFScore:
+    def test_perfect_partition(self, constraints):
+        labels = np.array([0, 0, 1, 1])
+        assert constraint_f_score(labels, constraints) == pytest.approx(1.0)
+
+    def test_all_violated(self, constraints):
+        labels = np.array([0, 1, 0, 1])
+        assert constraint_f_score(labels, constraints) == pytest.approx(0.0)
+
+    def test_partial_satisfaction_between_zero_and_one(self, constraints):
+        labels = np.array([0, 0, 0, 1])
+        score = constraint_f_score(labels, constraints)
+        assert 0.0 < score < 1.0
+
+    def test_empty_constraints_scores_zero(self):
+        assert constraint_f_score(np.array([0, 1]), ConstraintSet()) == 0.0
+
+    def test_single_big_cluster_gets_only_must_link_credit(self, constraints):
+        labels = np.zeros(4, dtype=int)
+        score = constraint_f_score(labels, constraints)
+        # Must-link class: P=0.5, R=1.0 -> F=2/3; cannot-link class: F=0.
+        assert score == pytest.approx(0.5 * (2 / 3))
+
+    def test_noise_counts_as_separated(self, constraints):
+        labels = np.array([-1, -1, -1, -1])
+        score = constraint_f_score(labels, constraints)
+        # Cannot-links satisfied, must-links violated.
+        # must-link F = 0; cannot-link: P = 2/4... recall = 1 -> F = 2*0.5*1/1.5 = 2/3.
+        assert score == pytest.approx(0.5 * (2 / 3))
+
+
+class TestAccuracyScore:
+    def test_matches_fraction_satisfied(self, constraints):
+        labels = np.array([0, 0, 0, 1])
+        # ML(0,1) ok, ML(2,3) violated, CL(0,2) violated, CL(1,3) ok -> 2/4.
+        assert constraint_accuracy_score(labels, constraints) == pytest.approx(0.5)
+
+    def test_empty_constraints(self):
+        assert constraint_accuracy_score(np.array([0]), ConstraintSet()) == 0.0
+
+
+class TestScorePartition:
+    def test_registry_contains_expected_scorers(self):
+        assert {"average_f", "accuracy", "must_link_f"} <= set(SCORERS)
+
+    def test_dispatch(self, constraints):
+        labels = np.array([0, 0, 1, 1])
+        assert score_partition(labels, constraints, scoring="average_f") == pytest.approx(1.0)
+        assert score_partition(labels, constraints, scoring="accuracy") == pytest.approx(1.0)
+
+    def test_unknown_scorer(self, constraints):
+        with pytest.raises(ValueError):
+            score_partition(np.array([0, 0, 1, 1]), constraints, scoring="auc")
+
+    def test_f_score_differs_from_accuracy_under_imbalance(self):
+        """With many cannot-links and few must-links the two scorers disagree."""
+        constraints = ConstraintSet([must_link(0, 1)])
+        for i in range(2, 12):
+            constraints.add(cannot_link(0, i))
+            constraints.add(cannot_link(1, i))
+        # A partition that separates everything: all cannot-links satisfied,
+        # the single must-link violated.
+        labels = np.arange(12)
+        accuracy = score_partition(labels, constraints, scoring="accuracy")
+        average_f = score_partition(labels, constraints, scoring="average_f")
+        assert accuracy > 0.9
+        assert average_f < accuracy  # the averaged F penalises the missed class

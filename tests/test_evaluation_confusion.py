@@ -1,0 +1,98 @@
+"""Unit tests for constraint-level and pair-level confusion counts."""
+
+import numpy as np
+import pytest
+
+from repro.constraints import ConstraintSet, cannot_link, must_link
+from repro.evaluation import ConstraintConfusion, constraint_confusion, pair_confusion_matrix
+
+
+class TestConstraintConfusion:
+    def test_counts_on_a_small_example(self):
+        labels = np.array([0, 0, 1, 1, 2])
+        constraints = ConstraintSet([
+            must_link(0, 1),      # satisfied  -> tp
+            must_link(0, 2),      # violated   -> fn
+            cannot_link(1, 2),    # satisfied  -> tn
+            cannot_link(2, 3),    # violated   -> fp
+            cannot_link(0, 4),    # satisfied  -> tn
+        ])
+        confusion = constraint_confusion(labels, constraints)
+        assert (confusion.tp, confusion.fn, confusion.tn, confusion.fp) == (1, 1, 2, 1)
+        assert confusion.n_constraints == 5
+        assert confusion.n_must_link == 2
+        assert confusion.n_cannot_link == 3
+
+    def test_precision_recall_f_must_link(self):
+        confusion = ConstraintConfusion(tp=3, fn=1, tn=4, fp=2)
+        assert confusion.precision_must_link() == pytest.approx(3 / 5)
+        assert confusion.recall_must_link() == pytest.approx(3 / 4)
+        expected_f = 2 * (3 / 5) * (3 / 4) / ((3 / 5) + (3 / 4))
+        assert confusion.f_measure_must_link() == pytest.approx(expected_f)
+
+    def test_precision_recall_f_cannot_link(self):
+        confusion = ConstraintConfusion(tp=3, fn=1, tn=4, fp=2)
+        assert confusion.precision_cannot_link() == pytest.approx(4 / 5)
+        assert confusion.recall_cannot_link() == pytest.approx(4 / 6)
+
+    def test_average_f_is_mean_of_class_f(self):
+        confusion = ConstraintConfusion(tp=3, fn=1, tn=4, fp=2)
+        expected = 0.5 * (confusion.f_measure_must_link() + confusion.f_measure_cannot_link())
+        assert confusion.average_f_measure() == pytest.approx(expected)
+
+    def test_average_f_with_single_class_present(self):
+        only_must = ConstraintConfusion(tp=2, fn=1, tn=0, fp=0)
+        assert only_must.average_f_measure() == only_must.f_measure_must_link()
+        empty = ConstraintConfusion(tp=0, fn=0, tn=0, fp=0)
+        assert empty.average_f_measure() == 0.0
+
+    def test_accuracy(self):
+        confusion = ConstraintConfusion(tp=3, fn=1, tn=4, fp=2)
+        assert confusion.accuracy() == pytest.approx(7 / 10)
+
+    def test_perfect_partition_scores_one(self):
+        labels = np.array([0, 0, 1, 1])
+        constraints = ConstraintSet([must_link(0, 1), must_link(2, 3), cannot_link(0, 2)])
+        confusion = constraint_confusion(labels, constraints)
+        assert confusion.average_f_measure() == pytest.approx(1.0)
+        assert confusion.accuracy() == pytest.approx(1.0)
+
+    def test_noise_objects_are_singletons(self):
+        labels = np.array([0, -1, -1, 1])
+        constraints = ConstraintSet([must_link(0, 1), cannot_link(1, 2)])
+        confusion = constraint_confusion(labels, constraints)
+        assert confusion.fn == 1  # must-link with a noise object is violated
+        assert confusion.tn == 1  # cannot-link between two noise objects is satisfied
+
+
+class TestPairConfusionMatrix:
+    def test_identical_partitions(self):
+        labels = np.array([0, 0, 1, 1, 2])
+        n11, n10, n01, n00 = pair_confusion_matrix(labels, labels)
+        assert n10 == n01 == 0
+        assert n11 == 2           # the two within-cluster pairs
+        assert n11 + n00 == 10    # all pairs accounted for
+
+    def test_completely_different_partitions(self):
+        truth = np.array([0, 0, 1, 1])
+        prediction = np.array([0, 1, 0, 1])
+        n11, n10, n01, n00 = pair_confusion_matrix(truth, prediction)
+        assert n11 == 0
+        assert n10 == 2
+        assert n01 == 2
+        assert n00 == 2
+
+    def test_noise_prediction_counts_as_singletons(self):
+        truth = np.array([0, 0, 1])
+        prediction = np.array([-1, -1, 0])
+        n11, n10, n01, n00 = pair_confusion_matrix(truth, prediction)
+        assert n11 == 0
+        assert n01 == 0
+        assert n10 == 1
+
+    def test_total_is_number_of_pairs(self):
+        rng = np.random.default_rng(0)
+        truth = rng.integers(0, 4, size=30)
+        prediction = rng.integers(0, 3, size=30)
+        counts = pair_confusion_matrix(truth, prediction)
+        assert sum(counts) == 30 * 29 // 2

@@ -1,0 +1,84 @@
+"""Unit tests for internal evaluation measures (Silhouette & friends)."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import silhouette_samples, silhouette_score, simplified_silhouette
+from repro.evaluation.internal import davies_bouldin_index
+
+
+@pytest.fixture()
+def two_tight_clusters():
+    rng = np.random.default_rng(0)
+    X = np.vstack([
+        rng.normal(0.0, 0.05, size=(20, 2)),
+        rng.normal(10.0, 0.05, size=(20, 2)),
+    ])
+    labels = np.repeat([0, 1], 20)
+    return X, labels
+
+
+class TestSilhouette:
+    def test_well_separated_clusters_score_high(self, two_tight_clusters):
+        X, labels = two_tight_clusters
+        assert silhouette_score(X, labels) > 0.95
+
+    def test_bad_partition_scores_lower(self, two_tight_clusters):
+        X, labels = two_tight_clusters
+        rng = np.random.default_rng(1)
+        random_labels = rng.integers(0, 2, size=labels.size)
+        assert silhouette_score(X, random_labels) < silhouette_score(X, labels)
+
+    def test_single_cluster_returns_zero(self, two_tight_clusters):
+        X, _ = two_tight_clusters
+        assert silhouette_score(X, np.zeros(X.shape[0], dtype=int)) == 0.0
+
+    def test_noise_objects_get_zero_and_are_ignored(self, two_tight_clusters):
+        X, labels = two_tight_clusters
+        noisy = labels.copy()
+        noisy[:3] = -1
+        samples = silhouette_samples(X, noisy)
+        assert np.allclose(samples[:3], 0.0)
+        assert silhouette_score(X, noisy) > 0.9
+
+    def test_samples_bounded(self, blobs_dataset):
+        samples = silhouette_samples(blobs_dataset.X, blobs_dataset.y)
+        assert (samples >= -1.0).all() and (samples <= 1.0).all()
+
+    def test_singleton_cluster_gets_zero(self):
+        X = np.array([[0.0, 0.0], [0.1, 0.0], [5.0, 5.0]])
+        labels = np.array([0, 0, 1])
+        samples = silhouette_samples(X, labels)
+        assert samples[2] == 0.0
+
+    def test_correct_k_scores_best_on_blobs(self, blobs_dataset):
+        """Silhouette peaks at the true number of blobs for k-means labels."""
+        from repro.clustering import KMeans
+
+        scores = {}
+        for k in (2, 3, 4, 5):
+            labels = KMeans(n_clusters=k, random_state=0).fit(blobs_dataset.X).labels_
+            scores[k] = silhouette_score(blobs_dataset.X, labels)
+        assert max(scores, key=scores.get) == 3
+
+
+class TestSimplifiedSilhouette:
+    def test_agrees_qualitatively_with_full_silhouette(self, two_tight_clusters):
+        X, labels = two_tight_clusters
+        assert simplified_silhouette(X, labels) > 0.9
+
+    def test_single_cluster_returns_zero(self, two_tight_clusters):
+        X, _ = two_tight_clusters
+        assert simplified_silhouette(X, np.zeros(X.shape[0], dtype=int)) == 0.0
+
+
+class TestDaviesBouldin:
+    def test_lower_for_better_partition(self, two_tight_clusters):
+        X, labels = two_tight_clusters
+        rng = np.random.default_rng(2)
+        random_labels = rng.integers(0, 2, size=labels.size)
+        assert davies_bouldin_index(X, labels) < davies_bouldin_index(X, random_labels)
+
+    def test_single_cluster_returns_zero(self, two_tight_clusters):
+        X, _ = two_tight_clusters
+        assert davies_bouldin_index(X, np.zeros(X.shape[0], dtype=int)) == 0.0

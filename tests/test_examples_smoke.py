@@ -1,0 +1,56 @@
+"""Smoke tests for the example scripts.
+
+The examples are user-facing documentation; these tests keep them importable
+and verify the cheapest one end to end so documentation rot is caught by CI.
+The heavier examples are exercised implicitly by the integration tests and
+the benchmark harness.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _load_module(path: Path):
+    spec = importlib.util.spec_from_file_location(f"examples_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_expected_examples_exist(self):
+        names = {path.name for path in EXAMPLE_FILES}
+        assert {"quickstart.py", "density_minpts_selection.py",
+                "constraint_scenario_gene_expression.py", "algorithm_selection.py",
+                "reproduce_paper_tables.py"} <= names
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+    def test_examples_are_importable_and_expose_main(self, path):
+        module = _load_module(path)
+        assert hasattr(module, "main"), f"{path.name} should define a main() entry point"
+        assert callable(module.main)
+
+    def test_quickstart_runs_end_to_end(self, capsys):
+        module = _load_module(EXAMPLES_DIR / "quickstart.py")
+        module.main()
+        output = capsys.readouterr().out
+        assert "selected k" in output
+        assert "Overall F-Measure" in output
+
+    def test_reproduce_cli_rejects_unknown_target(self):
+        module = _load_module(EXAMPLES_DIR / "reproduce_paper_tables.py")
+        with pytest.raises(SystemExit):
+            module.main(["--only", "table99"])
+
+    def test_reproduce_cli_target_resolution(self):
+        module = _load_module(EXAMPLES_DIR / "reproduce_paper_tables.py")
+        targets = module.resolve_targets(["figures"])
+        assert "figure5" in targets and "figure12" in targets
+        assert module.resolve_targets(["table1", "table1"]) == ["table1"]

@@ -1,0 +1,104 @@
+"""Property-based tests (hypothesis) for the constraint machinery."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.constraints import (
+    Constraint,
+    ConstraintSet,
+    constraints_from_labels,
+    transitive_closure,
+)
+from repro.constraints.closure import is_consistent
+
+settings.register_profile("repro", max_examples=30, deadline=None)
+settings.load_profile("repro")
+
+
+@st.composite
+def labellings(draw, max_objects=12, max_classes=4):
+    """A random partial labelling {object index: class}."""
+    n_objects = draw(st.integers(min_value=2, max_value=max_objects))
+    indices = draw(
+        st.lists(st.integers(min_value=0, max_value=50), min_size=n_objects,
+                 max_size=n_objects, unique=True)
+    )
+    labels = draw(
+        st.lists(st.integers(min_value=0, max_value=max_classes - 1),
+                 min_size=n_objects, max_size=n_objects)
+    )
+    return dict(zip(indices, labels))
+
+
+@st.composite
+def consistent_constraint_sets(draw):
+    """A constraint set derived from a random labelling, then subsampled.
+
+    Subsets of a consistent (label-induced) set are always consistent.
+    """
+    labelling = draw(labellings())
+    full = list(constraints_from_labels(labelling))
+    if not full:
+        return ConstraintSet()
+    keep = draw(st.lists(st.booleans(), min_size=len(full), max_size=len(full)))
+    return ConstraintSet(c for c, k in zip(full, keep) if k)
+
+
+class TestClosureProperties:
+    @given(consistent_constraint_sets())
+    def test_closure_is_idempotent(self, constraints):
+        closure = transitive_closure(constraints, strict=False)
+        assert transitive_closure(closure, strict=False) == closure
+
+    @given(consistent_constraint_sets())
+    def test_closure_contains_input(self, constraints):
+        closure = transitive_closure(constraints, strict=False)
+        for constraint in constraints:
+            assert constraint in closure
+
+    @given(consistent_constraint_sets())
+    def test_closure_of_consistent_set_is_consistent(self, constraints):
+        closure = transitive_closure(constraints, strict=False)
+        assert is_consistent(closure)
+
+    @given(labellings())
+    def test_label_induced_constraints_are_closed_and_consistent(self, labelling):
+        constraints = constraints_from_labels(labelling)
+        assert is_consistent(constraints)
+        assert transitive_closure(constraints) == constraints
+
+    @given(labellings())
+    def test_label_induced_constraints_are_satisfied_by_the_labelling(self, labelling):
+        constraints = constraints_from_labels(labelling)
+        n = max(labelling) + 1 if labelling else 1
+        labels = np.zeros(n, dtype=np.int64)
+        for index, label in labelling.items():
+            labels[index] = label
+        assert constraints.satisfied_by(labels) == len(constraints)
+
+    @given(labellings())
+    def test_constraint_count_matches_pair_count(self, labelling):
+        constraints = constraints_from_labels(labelling)
+        n = len(labelling)
+        assert len(constraints) == n * (n - 1) // 2
+
+
+class TestConstraintSetProperties:
+    @given(consistent_constraint_sets())
+    def test_restriction_never_grows(self, constraints):
+        objects = constraints.involved_objects()
+        half = objects[: len(objects) // 2]
+        restricted = constraints.restricted_to(half)
+        assert len(restricted) <= len(constraints)
+        for constraint in restricted:
+            assert constraint in constraints
+
+    @given(consistent_constraint_sets())
+    def test_must_and_cannot_partition_the_set(self, constraints):
+        assert constraints.n_must_link + constraints.n_cannot_link == len(constraints)
+
+    @given(consistent_constraint_sets(), st.integers(min_value=0, max_value=50))
+    def test_without_objects_removes_all_incident_constraints(self, constraints, index):
+        filtered = constraints.without_objects([index])
+        for constraint in filtered:
+            assert not constraint.involves(index)

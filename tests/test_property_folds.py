@@ -1,0 +1,80 @@
+"""Property-based tests for the CVCP fold construction (the leak-free invariant)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.constraints import constraints_from_labels, transitive_closure
+from repro.core import constraint_scenario_folds, label_scenario_folds
+
+settings.register_profile("repro-folds", max_examples=25, deadline=None)
+settings.load_profile("repro-folds")
+
+
+@st.composite
+def labellings(draw):
+    n_objects = draw(st.integers(min_value=4, max_value=16))
+    indices = draw(
+        st.lists(st.integers(min_value=0, max_value=60), min_size=n_objects,
+                 max_size=n_objects, unique=True)
+    )
+    labels = draw(st.lists(st.integers(0, 3), min_size=n_objects, max_size=n_objects))
+    return dict(zip(indices, labels))
+
+
+class TestScenarioIProperties:
+    @given(labellings(), st.integers(min_value=2, max_value=6), st.integers(0, 10**6))
+    def test_test_folds_partition_the_labelled_objects(self, labelling, n_folds, seed):
+        folds = label_scenario_folds(labelling, n_folds, random_state=seed)
+        covered = sorted(obj for fold in folds for obj in fold.test_objects)
+        assert covered == sorted(labelling)
+
+    @given(labellings(), st.integers(min_value=2, max_value=6), st.integers(0, 10**6))
+    def test_no_test_constraint_leaks_from_training(self, labelling, n_folds, seed):
+        folds = label_scenario_folds(labelling, n_folds, random_state=seed)
+        for fold in folds:
+            training_closure = transitive_closure(fold.training_constraints, strict=False)
+            for constraint in fold.test_constraints:
+                assert constraint not in training_closure
+
+    @given(labellings(), st.integers(min_value=2, max_value=6), st.integers(0, 10**6))
+    def test_training_and_test_objects_disjoint(self, labelling, n_folds, seed):
+        folds = label_scenario_folds(labelling, n_folds, random_state=seed)
+        for fold in folds:
+            assert not (set(fold.training_objects) & set(fold.test_objects))
+
+
+class TestScenarioIIProperties:
+    @given(labellings(), st.integers(min_value=2, max_value=5), st.integers(0, 10**6))
+    def test_no_cross_fold_constraints_survive(self, labelling, n_folds, seed):
+        constraints = constraints_from_labels(labelling)
+        if not len(constraints):
+            return
+        folds = constraint_scenario_folds(constraints, n_folds, random_state=seed)
+        for fold in folds:
+            training_set = set(fold.training_objects)
+            test_set = set(fold.test_objects)
+            for constraint in fold.training_constraints:
+                assert {constraint.i, constraint.j} <= training_set
+            for constraint in fold.test_constraints:
+                assert {constraint.i, constraint.j} <= test_set
+
+    @given(labellings(), st.integers(min_value=2, max_value=5), st.integers(0, 10**6))
+    def test_no_leakage_through_the_closure(self, labelling, n_folds, seed):
+        constraints = constraints_from_labels(labelling)
+        if not len(constraints):
+            return
+        folds = constraint_scenario_folds(constraints, n_folds, random_state=seed)
+        for fold in folds:
+            training_closure = transitive_closure(fold.training_constraints, strict=False)
+            for constraint in fold.test_constraints:
+                assert constraint not in training_closure
+
+    @given(labellings(), st.integers(min_value=2, max_value=5), st.integers(0, 10**6))
+    def test_fold_sides_are_transitively_closed(self, labelling, n_folds, seed):
+        constraints = constraints_from_labels(labelling)
+        if not len(constraints):
+            return
+        folds = constraint_scenario_folds(constraints, n_folds, random_state=seed)
+        for fold in folds:
+            assert transitive_closure(fold.training_constraints, strict=False) == fold.training_constraints
+            assert transitive_closure(fold.test_constraints, strict=False) == fold.test_constraints
