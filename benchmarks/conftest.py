@@ -14,13 +14,40 @@ Run with::
 The regenerated tables are printed to stdout (use ``-s`` to see them inline;
 without ``-s`` pytest shows them for failing benchmarks only, and the
 pytest-benchmark summary table always reports the timings).
+
+Execution engine
+----------------
+``--repro-backend {serial,thread,process}`` and ``--repro-n-jobs N`` select
+the execution engine the whole suite runs on (defaults come from the
+``REPRO_BACKEND``/``REPRO_N_JOBS`` environment variables via
+:func:`repro.experiments.default_config`).  Results are bit-identical
+across backends for a fixed seed, so timings are directly comparable::
+
+    pytest benchmarks/bench_fig5_fig6_curves.py --repro-backend=process
 """
 
 from __future__ import annotations
 
 import pytest
 
+from repro.core.executor import BACKENDS
 from repro.experiments import default_config
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("repro", "paper-reproduction benchmarks")
+    group.addoption(
+        "--repro-backend",
+        choices=list(BACKENDS),
+        default=None,
+        help="execution backend for the CVCP grids (default: REPRO_BACKEND env or serial)",
+    )
+    group.addoption(
+        "--repro-n-jobs",
+        type=int,
+        default=None,
+        help="worker count for the parallel backends (default: REPRO_N_JOBS env or all cores)",
+    )
 
 
 def pytest_configure(config):
@@ -28,9 +55,17 @@ def pytest_configure(config):
 
 
 @pytest.fixture(scope="session")
-def experiment_config():
-    """The experiment configuration shared by all benchmarks."""
-    return default_config()
+def experiment_config(request):
+    """The experiment configuration shared by all benchmarks.
+
+    The scale comes from ``REPRO_FULL``; the execution engine from the
+    ``--repro-backend``/``--repro-n-jobs`` options (or their environment
+    counterparts).
+    """
+    return default_config().with_execution(
+        backend=request.config.getoption("--repro-backend"),
+        n_jobs=request.config.getoption("--repro-n-jobs"),
+    )
 
 
 @pytest.fixture(scope="session")

@@ -15,7 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.clustering.base import BaseClusterer
-from repro.clustering.distances import pairwise_distances
+from repro.utils.cache import cached_pairwise_distances
 from repro.constraints.constraint import ConstraintSet
 from repro.utils.rng import RandomStateLike
 from repro.utils.validation import check_array_2d, check_positive_int
@@ -75,7 +75,7 @@ class AgglomerativeClustering(BaseClusterer):
                 f"n_clusters={n_clusters} exceeds the number of samples {n_samples}"
             )
 
-        distances = pairwise_distances(X, metric=self.metric)
+        distances = cached_pairwise_distances(X, metric=self.metric)
         self.merge_tree_, merge_members = self._build_dendrogram(distances)
         self.labels_ = self._cut(merge_members, n_samples, n_clusters)
         return self

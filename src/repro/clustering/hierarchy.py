@@ -25,7 +25,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.clustering.distances import k_nearest_distances, pairwise_distances
+from repro.clustering.distances import k_nearest_distances
+from repro.utils.cache import cached_pairwise_distances
 from repro.utils.disjoint_set import DisjointSet
 from repro.utils.validation import check_array_2d, check_positive_int
 
@@ -326,7 +327,9 @@ class DensityHierarchy:
             raise ValueError(
                 f"min_pts={self.min_pts} exceeds the number of samples {X.shape[0]}"
             )
-        distances = pairwise_distances(X, metric=self.metric)
+        # Memoised: every (value × fold) grid cell of a CVCP sweep shares the
+        # same O(n²) matrix, so only the first cell per process computes it.
+        distances = cached_pairwise_distances(X, metric=self.metric)
         self.core_distances_ = k_nearest_distances(distances, self.min_pts)
         self.mutual_reachability_ = mutual_reachability(distances, self.core_distances_)
         self.mst_edges_ = minimum_spanning_tree(self.mutual_reachability_)

@@ -20,7 +20,8 @@ import heapq
 import numpy as np
 
 from repro.clustering.base import BaseClusterer
-from repro.clustering.distances import k_nearest_distances, pairwise_distances
+from repro.clustering.distances import k_nearest_distances
+from repro.utils.cache import cached_pairwise_distances
 from repro.constraints.constraint import ConstraintSet
 from repro.utils.rng import RandomStateLike
 from repro.utils.validation import check_array_2d, check_positive_int
@@ -87,7 +88,7 @@ class OPTICS(BaseClusterer):
                 f"min_pts={min_pts} exceeds the number of samples {X.shape[0]}"
             )
 
-        distances = pairwise_distances(X, metric=self.metric)
+        distances = cached_pairwise_distances(X, metric=self.metric)
         self.core_distances_ = k_nearest_distances(distances, min_pts)
         self.ordering_, self.reachability_ = self._compute_ordering(distances)
         if np.isfinite(self.eps):

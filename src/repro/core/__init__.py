@@ -36,6 +36,17 @@ from repro.core.model_selection import (
     expected_quality,
 )
 from repro.core.cvcp import CVCP, select_parameter
+from repro.core.executor import (
+    BACKENDS,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    derive_seed,
+    execute,
+    get_executor,
+    resolve_n_jobs,
+)
 from repro.core.algorithm_selection import (
     AlgorithmCandidate,
     AlgorithmSelectionResult,
@@ -60,4 +71,13 @@ __all__ = [
     "expected_quality",
     "CVCP",
     "select_parameter",
+    "BACKENDS",
+    "Executor",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "derive_seed",
+    "execute",
+    "get_executor",
+    "resolve_n_jobs",
 ]

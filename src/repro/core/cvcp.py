@@ -15,17 +15,85 @@
 
 from __future__ import annotations
 
+import multiprocessing
+import threading
+from dataclasses import dataclass
 from typing import Any, Sequence
 
 import numpy as np
 
 from repro.clustering.base import BaseClusterer
 from repro.constraints.constraint import ConstraintSet
+from repro.core.executor import BACKENDS, derive_seed, get_executor
 from repro.core.folds import CVCPFold, make_folds
 from repro.core.model_selection import CVCPResult, ParameterEvaluation
 from repro.core.scoring import score_partition
+from repro.utils.cache import array_fingerprint, cached_pairwise_distances
 from repro.utils.rng import RandomStateLike, check_random_state
 from repro.utils.validation import check_array_2d, check_positive_int
+
+
+@dataclass
+class _GridTask:
+    """One independent (parameter value × fold) cell of the CVCP grid.
+
+    The estimator is already cloned with the candidate value and its derived
+    child seed, so the worker only fits and scores.  Must stay picklable for
+    the process backend; the data matrix itself travels once per worker via
+    the executor initializer (see :func:`_register_grid_data`), so tasks
+    only carry its key.
+    """
+
+    estimator: BaseClusterer
+    data_key: str
+    fold: CVCPFold
+    scoring: str
+    use_labels_directly: bool
+
+
+#: Per-process registry of data matrices shared by all tasks of a grid run.
+#: Process workers receive their entry through the executor initializer
+#: (once per worker, not per task); in the submitting process the entry is
+#: reference-counted so concurrent grid runs over the same data (e.g.
+#: thread-parallel trials) can share it safely.
+_GRID_DATA: dict[str, np.ndarray] = {}
+_GRID_DATA_REFS: dict[str, int] = {}
+_GRID_DATA_LOCK = threading.Lock()
+
+
+def _register_grid_data(key: str, X: np.ndarray) -> None:
+    """Worker-side initializer: make the grid's data matrix available."""
+    _GRID_DATA[key] = X
+
+
+def _acquire_grid_data(key: str, X: np.ndarray) -> None:
+    with _GRID_DATA_LOCK:
+        _GRID_DATA[key] = X
+        _GRID_DATA_REFS[key] = _GRID_DATA_REFS.get(key, 0) + 1
+
+
+def _release_grid_data(key: str) -> None:
+    with _GRID_DATA_LOCK:
+        remaining = _GRID_DATA_REFS.get(key, 1) - 1
+        if remaining <= 0:
+            _GRID_DATA.pop(key, None)
+            _GRID_DATA_REFS.pop(key, None)
+        else:
+            _GRID_DATA_REFS[key] = remaining
+
+
+def _evaluate_grid_cell(task: _GridTask) -> float:
+    """Fit on the training-fold information, score on the test-fold constraints."""
+    if not task.fold.has_test_information():
+        return 0.0
+    X = _GRID_DATA[task.data_key]
+    if task.use_labels_directly and task.fold.training_labels:
+        task.estimator.fit(X, seed_labels=task.fold.training_labels)
+    else:
+        task.estimator.fit(X, constraints=task.fold.training_constraints)
+    return score_partition(
+        task.estimator.labels_, task.fold.test_constraints, scoring=task.scoring
+    )
 
 
 class CVCP:
@@ -60,6 +128,14 @@ class CVCP:
     random_state:
         Seed or generator controlling the fold shuffles and the clones'
         stochastic initialisation.
+    n_jobs:
+        Worker count for the parallel backends (``None``/``0`` = all cores,
+        negative = joblib-style counting from the core count).
+    backend:
+        Execution backend for the (parameter × fold) grid: ``"serial"``
+        (default), ``"thread"`` or ``"process"``.  Every cell derives its
+        seed from its grid coordinates, so all backends return bit-identical
+        results for the same ``random_state``.
 
     Attributes
     ----------
@@ -101,9 +177,13 @@ class CVCP:
         use_labels_directly: bool = False,
         refit: bool = True,
         random_state: RandomStateLike = None,
+        n_jobs: int | None = None,
+        backend: str = "serial",
     ) -> None:
         if not list(parameter_values):
             raise ValueError("parameter_values must not be empty")
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
         self.estimator = estimator
         self.parameter_values = list(parameter_values)
         self.parameter_name = parameter_name or estimator.tuned_parameter
@@ -116,6 +196,8 @@ class CVCP:
         self.use_labels_directly = use_labels_directly
         self.refit = refit
         self.random_state = random_state
+        self.n_jobs = n_jobs
+        self.backend = backend
 
     # ------------------------------------------------------------------
     def fit(
@@ -146,14 +228,60 @@ class CVCP:
             random_state=rng,
         )
 
+        # One master seed; every grid cell derives its child seed from its
+        # (value_index, fold_index) coordinates, so scores are independent of
+        # iteration and completion order — the property that makes the
+        # thread/process backends bit-identical to the serial one.
+        master_seed = int(rng.integers(0, 2**63 - 1))
+
+        if (
+            self.backend == "process"
+            and multiprocessing.get_start_method() == "fork"
+            and "metric" in self.estimator.get_params()
+        ):
+            # Warm the per-process distance cache before the pool starts:
+            # fork-started workers inherit the matrix for free.  Pointless
+            # under spawn/forkserver, where each worker computes (and then
+            # caches) its own copy.
+            cached_pairwise_distances(X, self.estimator.metric)
+
+        data_key = array_fingerprint(X)
+        tasks = [
+            _GridTask(
+                estimator=self._make_estimator(
+                    value, derive_seed(master_seed, value_index, fold_index)
+                ),
+                data_key=data_key,
+                fold=fold,
+                scoring=self.scoring,
+                use_labels_directly=self.use_labels_directly,
+            )
+            for value_index, value in enumerate(self.parameter_values)
+            for fold_index, fold in enumerate(folds)
+        ]
+        # The serial/thread backends read the matrix straight from this
+        # process's registry; only process workers need it shipped (once per
+        # worker, via the initializer) rather than pickled into every task.
+        executor = get_executor(
+            self.backend, self.n_jobs,
+            initializer=_register_grid_data if self.backend == "process" else None,
+            initargs=(data_key, X) if self.backend == "process" else (),
+        )
+        _acquire_grid_data(data_key, X)
+        try:
+            scores = executor.run(_evaluate_grid_cell, tasks)
+        finally:
+            _release_grid_data(data_key)
+
+        n_folds = len(folds)
         evaluations = [
             ParameterEvaluation(
                 value=value,
-                fold_scores=[
-                    self._score_fold(X, value, fold, rng) for fold in folds
-                ],
+                fold_scores=list(
+                    scores[value_index * n_folds : (value_index + 1) * n_folds]
+                ),
             )
-            for value in self.parameter_values
+            for value_index, value in enumerate(self.parameter_values)
         ]
         self.cv_results_ = CVCPResult(
             parameter_name=self.parameter_name,
@@ -165,7 +293,11 @@ class CVCP:
         self.best_score_ = self.cv_results_.best_score
 
         if self.refit:
-            self.best_estimator_ = self._refit(X, labeled_objects, constraints, rng)
+            refit_seed = derive_seed(
+                master_seed, self.parameter_values.index(self.cv_results_.best_value),
+                n_folds,
+            )
+            self.best_estimator_ = self._refit(X, labeled_objects, constraints, refit_seed)
             self.labels_ = self.best_estimator_.labels_
         return self
 
@@ -183,39 +315,22 @@ class CVCP:
         return self.labels_
 
     # ------------------------------------------------------------------
-    def _make_estimator(self, value: Any, rng: np.random.Generator) -> BaseClusterer:
-        """Clone the template with the candidate value and a child seed."""
+    def _make_estimator(self, value: Any, seed: int) -> BaseClusterer:
+        """Clone the template with the candidate value and a derived child seed."""
         overrides: dict[str, Any] = {self.parameter_name: value}
         if "random_state" in self.estimator.get_params():
-            overrides["random_state"] = int(rng.integers(0, 2**31 - 1))
+            overrides["random_state"] = int(seed)
         return self.estimator.clone(**overrides)
-
-    def _score_fold(
-        self,
-        X: np.ndarray,
-        value: Any,
-        fold: CVCPFold,
-        rng: np.random.Generator,
-    ) -> float:
-        """Fit on the training-fold information, score on the test-fold constraints."""
-        if not fold.has_test_information():
-            return 0.0
-        estimator = self._make_estimator(value, rng)
-        if self.use_labels_directly and fold.training_labels:
-            estimator.fit(X, seed_labels=fold.training_labels)
-        else:
-            estimator.fit(X, constraints=fold.training_constraints)
-        return score_partition(estimator.labels_, fold.test_constraints, scoring=self.scoring)
 
     def _refit(
         self,
         X: np.ndarray,
         labeled_objects: dict[int, int] | None,
         constraints: ConstraintSet | None,
-        rng: np.random.Generator,
+        seed: int,
     ) -> BaseClusterer:
         """Step 4: rerun the winning model with all available side information."""
-        estimator = self._make_estimator(self.cv_results_.best_value, rng)
+        estimator = self._make_estimator(self.cv_results_.best_value, seed)
         if labeled_objects:
             if self.use_labels_directly:
                 estimator.fit(X, seed_labels=labeled_objects)
@@ -238,11 +353,14 @@ def select_parameter(
     n_folds: int = 10,
     scoring: str = "average_f",
     random_state: RandomStateLike = None,
+    n_jobs: int | None = None,
+    backend: str = "serial",
 ) -> tuple[Any, CVCPResult]:
     """Functional one-shot interface to CVCP.
 
     Returns ``(best value, full cross-validation result)`` without refitting;
     convenient inside experiment loops where the refit is done separately.
+    ``n_jobs``/``backend`` select the execution engine for the grid.
     """
     search = CVCP(
         estimator,
@@ -251,6 +369,8 @@ def select_parameter(
         scoring=scoring,
         refit=False,
         random_state=random_state,
+        n_jobs=n_jobs,
+        backend=backend,
     )
     search.fit(X, labeled_objects=labeled_objects, constraints=constraints)
     return search.cv_results_.best_value, search.cv_results_

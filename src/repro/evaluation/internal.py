@@ -14,7 +14,8 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.clustering.distances import euclidean_distances, pairwise_distances
+from repro.clustering.distances import euclidean_distances
+from repro.utils.cache import cached_pairwise_distances
 from repro.utils.validation import check_array_2d, check_labels, unique_labels
 
 
@@ -38,7 +39,7 @@ def silhouette_samples(X: np.ndarray, labels: Sequence[int] | np.ndarray) -> np.
     if clusters.size < 2:
         return scores
 
-    distances = pairwise_distances(X)
+    distances = cached_pairwise_distances(X)
     members_by_cluster = {int(c): np.flatnonzero(labels == c) for c in clusters}
 
     for index in range(n_samples):

@@ -90,6 +90,8 @@ def closure_leakage_ablation(
     amount: float = 0.20,
     config: ExperimentConfig | None = None,
     random_state: RandomStateLike = None,
+    n_jobs: int | None = None,
+    backend: str | None = None,
 ) -> AblationResult:
     """Internal-score inflation of the naive constraint split vs the proper one.
 
@@ -99,14 +101,15 @@ def closure_leakage_ablation(
     biased) because derived test constraints are implicitly available at
     training time.
     """
-    config = config or default_config()
+    config = (config or default_config()).with_execution(backend=backend, n_jobs=n_jobs)
     rng = check_random_state(random_state if random_state is not None else config.seed)
 
     side = make_side_information(dataset, "constraints", amount, random_state=rng)
     estimator = algorithm_factory(algorithm, config, random_state=rng)
     values = parameter_values_for(algorithm, dataset, config)
 
-    proper = CVCP(estimator, values, n_folds=config.n_folds, refit=False, random_state=rng)
+    proper = CVCP(estimator, values, n_folds=config.n_folds, refit=False, random_state=rng,
+                  n_jobs=config.n_jobs, backend=config.backend)
     proper.fit(dataset.X, constraints=side.constraints)
 
     naive_folds = _naive_constraint_folds(
@@ -143,9 +146,11 @@ def fold_count_ablation(
     fold_counts: tuple[int, ...] = (2, 3, 5, 10),
     config: ExperimentConfig | None = None,
     random_state: RandomStateLike = None,
+    n_jobs: int | None = None,
+    backend: str | None = None,
 ) -> AblationResult:
     """External quality of the CVCP-selected parameter for several fold counts."""
-    config = config or default_config()
+    config = (config or default_config()).with_execution(backend=backend, n_jobs=n_jobs)
     rng = check_random_state(random_state if random_state is not None else config.seed)
 
     side = make_side_information(dataset, "labels", amount, random_state=rng)
@@ -156,7 +161,8 @@ def fold_count_ablation(
     measurements: dict[str, float] = {}
     for n_folds in fold_counts:
         search = CVCP(estimator, values, n_folds=n_folds, refit=True,
-                      random_state=int(rng.integers(0, 2**31 - 1)))
+                      random_state=int(rng.integers(0, 2**31 - 1)),
+                      n_jobs=config.n_jobs, backend=config.backend)
         search.fit(dataset.X, labeled_objects=side.labeled_objects)
         measurements[f"n_folds={n_folds}"] = overall_f_measure(
             dataset.y, search.labels_, exclude=exclude
@@ -172,9 +178,11 @@ def scorer_ablation(
     scorers: tuple[str, ...] = ("average_f", "accuracy", "must_link_f"),
     config: ExperimentConfig | None = None,
     random_state: RandomStateLike = None,
+    n_jobs: int | None = None,
+    backend: str | None = None,
 ) -> AblationResult:
     """External quality of the parameter chosen under different internal scorers."""
-    config = config or default_config()
+    config = (config or default_config()).with_execution(backend=backend, n_jobs=n_jobs)
     rng = check_random_state(random_state if random_state is not None else config.seed)
 
     side = make_side_information(dataset, "labels", amount, random_state=rng)
@@ -185,7 +193,8 @@ def scorer_ablation(
     measurements: dict[str, float] = {}
     for scoring in scorers:
         search = CVCP(estimator, values, n_folds=config.n_folds, scoring=scoring,
-                      refit=True, random_state=int(rng.integers(0, 2**31 - 1)))
+                      refit=True, random_state=int(rng.integers(0, 2**31 - 1)),
+                      n_jobs=config.n_jobs, backend=config.backend)
         search.fit(dataset.X, labeled_objects=side.labeled_objects)
         measurements[scoring] = overall_f_measure(dataset.y, search.labels_, exclude=exclude)
     return AblationResult(name="internal-scorer", measurements=measurements)

@@ -146,6 +146,8 @@ def comparison_table(
     config: ExperimentConfig | None = None,
     random_state: RandomStateLike = None,
     include_silhouette: bool | None = None,
+    n_jobs: int | None = None,
+    backend: str | None = None,
 ) -> ComparisonTable:
     """Compute one comparison table.
 
@@ -153,9 +155,10 @@ def comparison_table(
     ``("fosc", "labels", 0.05/0.10/0.20)``, Tables 8/9/10 are
     ``("mpck", "labels", ...)``; constraint scenario: Tables 11/12/13 are
     ``("fosc", "constraints", 0.10/0.20/0.50)`` and Tables 14/15/16 are
-    ``("mpck", "constraints", ...)``.
+    ``("mpck", "constraints", ...)``.  ``n_jobs``/``backend`` override the
+    execution engine of ``config``.
     """
-    config = config or default_config()
+    config = (config or default_config()).with_execution(backend=backend, n_jobs=n_jobs)
     rng = check_random_state(random_state if random_state is not None else config.seed)
     if include_silhouette is None:
         include_silhouette = algorithm == "mpck"
@@ -184,14 +187,17 @@ def aloi_distribution(
     config: ExperimentConfig | None = None,
     random_state: RandomStateLike = None,
     include_silhouette: bool | None = None,
+    n_jobs: int | None = None,
+    backend: str | None = None,
 ) -> dict[str, list[float]]:
     """Per-trial quality distributions on the ALOI collection (Figures 9–12).
 
     Returns a mapping from box label (e.g. ``"CVCP-10"``, ``"Exp-10"``,
     ``"Sil-10"``) to the list of Overall F-Measure values whose distribution
-    the corresponding box plot shows.
+    the corresponding box plot shows.  ``n_jobs``/``backend`` override the
+    execution engine of ``config``.
     """
-    config = config or default_config()
+    config = (config or default_config()).with_execution(backend=backend, n_jobs=n_jobs)
     rng = check_random_state(random_state if random_state is not None else config.seed)
     if include_silhouette is None:
         include_silhouette = algorithm == "mpck"

@@ -21,7 +21,7 @@ variable ``REPRO_FULL=1`` switches to :data:`PAPER_CONFIG`.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.datasets.base import Dataset
 
@@ -65,6 +65,13 @@ class ExperimentConfig:
         Data-set names to include (paper order).
     seed:
         Master seed; every trial derives its own child seed from it.
+    backend:
+        Execution backend for the CVCP grid and the trial loops
+        (``"serial"``, ``"thread"`` or ``"process"``); see
+        :mod:`repro.core.executor`.  All backends are bit-identical for a
+        fixed seed.
+    n_jobs:
+        Worker count for the parallel backends (``None`` = all cores).
     """
 
     n_trials: int = 50
@@ -78,10 +85,24 @@ class ExperimentConfig:
     mpck_max_iter: int = 30
     datasets: tuple[str, ...] = TABLE_DATASETS
     seed: int = 20140324  # EDBT 2014 conference start date
+    backend: str = "serial"
+    n_jobs: int | None = None
 
     def with_overrides(self, **overrides) -> "ExperimentConfig":
         """Return a copy with the given fields replaced."""
         return replace(self, **overrides)
+
+    def with_execution(
+        self, backend: str | None = None, n_jobs: int | None = None
+    ) -> "ExperimentConfig":
+        """Copy with the execution engine overridden where arguments are given."""
+        if backend is None and n_jobs is None:
+            return self
+        return replace(
+            self,
+            backend=backend if backend is not None else self.backend,
+            n_jobs=n_jobs if n_jobs is not None else self.n_jobs,
+        )
 
 
 #: The paper-scale configuration (50 trials, 100 ALOI data sets, 10 folds).
@@ -99,10 +120,28 @@ QUICK_CONFIG = ExperimentConfig(
 
 
 def default_config() -> ExperimentConfig:
-    """Select the configuration from the ``REPRO_FULL`` environment variable."""
+    """Select the configuration from environment variables.
+
+    ``REPRO_FULL=1`` switches to the paper-scale configuration;
+    ``REPRO_BACKEND`` (``serial``/``thread``/``process``) and
+    ``REPRO_N_JOBS`` select the execution engine without touching code,
+    which is how the benchmark harness and CI exercise the parallel paths.
+    """
     if os.environ.get("REPRO_FULL", "").strip() in {"1", "true", "yes"}:
-        return PAPER_CONFIG
-    return QUICK_CONFIG
+        config = PAPER_CONFIG
+    else:
+        config = QUICK_CONFIG
+    backend = os.environ.get("REPRO_BACKEND", "").strip() or None
+    n_jobs_raw = os.environ.get("REPRO_N_JOBS", "").strip()
+    n_jobs = None
+    if n_jobs_raw:
+        try:
+            n_jobs = int(n_jobs_raw)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_N_JOBS must be an integer, got {n_jobs_raw!r}"
+            ) from None
+    return config.with_execution(backend=backend, n_jobs=n_jobs)
 
 
 def k_range_for_dataset(dataset: Dataset, *, max_k: int = 10) -> list[int]:

@@ -63,13 +63,16 @@ def correlation_table(
     *,
     config: ExperimentConfig | None = None,
     random_state: RandomStateLike = None,
+    n_jobs: int | None = None,
+    backend: str | None = None,
 ) -> CorrelationTable:
     """Compute the correlation table for one algorithm and one scenario.
 
     Table 1 = ``("fosc", "labels")``, Table 2 = ``("mpck", "labels")``,
     Table 3 = ``("fosc", "constraints")``, Table 4 = ``("mpck", "constraints")``.
+    ``n_jobs``/``backend`` override the execution engine of ``config``.
     """
-    config = config or default_config()
+    config = (config or default_config()).with_execution(backend=backend, n_jobs=n_jobs)
     rng = check_random_state(random_state if random_state is not None else config.seed)
     amounts = (
         list(config.label_fractions) if scenario == "labels"

@@ -34,6 +34,7 @@ from repro.constraints.generation import (
     sample_labeled_objects,
 )
 from repro.core.cvcp import CVCP
+from repro.core.executor import get_executor
 from repro.core.model_selection import expected_quality
 from repro.datasets.base import Dataset
 from repro.evaluation.external import overall_f_measure
@@ -168,9 +169,15 @@ def run_trial(
     *,
     config: ExperimentConfig | None = None,
     random_state: RandomStateLike = None,
+    n_jobs: int | None = None,
+    backend: str | None = None,
 ) -> TrialResult:
-    """Run one full trial (see the module docstring)."""
-    config = config or default_config()
+    """Run one full trial (see the module docstring).
+
+    ``n_jobs``/``backend`` override the execution engine of
+    ``config`` for the CVCP grid inside this trial.
+    """
+    config = (config or default_config()).with_execution(backend=backend, n_jobs=n_jobs)
     rng = check_random_state(random_state)
 
     side = make_side_information(dataset, scenario, amount, random_state=rng)
@@ -185,6 +192,8 @@ def run_trial(
         n_folds=config.n_folds,
         refit=False,
         random_state=rng,
+        n_jobs=config.n_jobs,
+        backend=config.backend,
     )
     if scenario == "labels":
         search.fit(dataset.X, labeled_objects=side.labeled_objects)
@@ -226,6 +235,29 @@ def run_trial(
     )
 
 
+@dataclass
+class _TrialTask:
+    """Payload of one trial submitted through the execution engine.
+
+    Must stay picklable for the process backend; the child generator is
+    derived up-front, so trials are order-independent.
+    """
+
+    dataset: Dataset
+    algorithm: AlgorithmName
+    scenario: ScenarioName
+    amount: float
+    config: ExperimentConfig
+    random_state: np.random.Generator
+
+
+def _run_trial_task(task: _TrialTask) -> TrialResult:
+    return run_trial(
+        task.dataset, task.algorithm, task.scenario, task.amount,
+        config=task.config, random_state=task.random_state,
+    )
+
+
 def run_trials(
     dataset: Dataset,
     algorithm: AlgorithmName,
@@ -235,11 +267,37 @@ def run_trials(
     *,
     config: ExperimentConfig | None = None,
     random_state: RandomStateLike = None,
+    n_jobs: int | None = None,
+    backend: str | None = None,
+    parallelize: Literal["grid", "trials"] = "grid",
 ) -> list[TrialResult]:
-    """Run ``n_trials`` independent trials, each with its own side information."""
-    config = config or default_config()
+    """Run ``n_trials`` independent trials, each with its own side information.
+
+    ``parallelize`` chooses where the execution engine is applied:
+
+    * ``"grid"`` (default) — every trial runs in submission order and the
+      engine parallelises the (parameter × fold) grid inside its CVCP;
+    * ``"trials"`` — whole trials are submitted through the engine (each
+      with a serial inner grid to avoid nested pools), which amortises the
+      per-task overhead better when trials are plentiful.
+
+    Both placements return bit-identical results for a fixed seed: every
+    trial's generator is derived up-front and results keep trial order.
+    """
+    if parallelize not in ("grid", "trials"):
+        raise ValueError(
+            f"parallelize must be 'grid' or 'trials', got {parallelize!r}"
+        )
+    config = (config or default_config()).with_execution(backend=backend, n_jobs=n_jobs)
     rng = check_random_state(random_state)
     children = spawn_rng(rng, n_trials)
+    if parallelize == "trials" and config.backend != "serial":
+        inner = config.with_overrides(backend="serial")
+        tasks = [
+            _TrialTask(dataset, algorithm, scenario, amount, inner, child)
+            for child in children
+        ]
+        return get_executor(config.backend, config.n_jobs).run(_run_trial_task, tasks)
     return [
         run_trial(dataset, algorithm, scenario, amount, config=config, random_state=child)
         for child in children

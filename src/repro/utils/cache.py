@@ -1,0 +1,189 @@
+"""Process-safe memoised caches for expensive, recomputed intermediates.
+
+The CVCP grid evaluates every candidate parameter value on every fold, and
+each density-based task (FOSC-OPTICSDend, OPTICS, agglomerative linkage,
+silhouette evaluation) starts by computing the full O(n²) pairwise-distance
+matrix of the *same* data matrix.  The matrix only depends on ``(X, metric)``,
+so a small memo turns |values| × n_folds recomputations into one.
+
+Design notes
+------------
+* **Keying.**  Arrays are keyed by a content fingerprint (shape, dtype and a
+  BLAKE2 digest of the raw bytes), not by ``id()``: the executor may hand a
+  pickled copy of ``X`` to every worker task, and copies must still hit.
+* **Thread safety.**  A single re-entrant lock guards lookup *and* compute,
+  so concurrent thread-backend tasks compute a missing matrix exactly once.
+* **Process safety.**  The cache is plain per-process module state — worker
+  processes each hold their own memo and never share mutable state, so there
+  is nothing to corrupt across processes.  On fork-based platforms a cache
+  warmed in the parent (see :meth:`repro.core.cvcp.CVCP.fit`) is inherited
+  by the children for free.
+* **Immutability.**  Cached matrices are returned with ``writeable=False``;
+  callers that need to mutate (e.g. agglomerative linkage) already copy.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+#: Default maximum number of distance matrices kept per process.
+DEFAULT_MAX_ITEMS = 8
+
+
+def array_fingerprint(array: np.ndarray) -> str:
+    """Content fingerprint of an array: shape, dtype and a digest of the bytes."""
+    array = np.ascontiguousarray(array)
+    digest = hashlib.blake2b(array.view(np.uint8).data, digest_size=16).hexdigest()
+    return f"{array.shape}:{array.dtype.str}:{digest}"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting of one cache (per process)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    size: int = 0
+    bytes: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+
+def _value_nbytes(value: object) -> int:
+    return int(getattr(value, "nbytes", 0))
+
+
+class MemoCache:
+    """A bounded, thread-safe LRU memo with hit/miss accounting.
+
+    Bounded by entry count (``max_items``) and, optionally, by the total
+    ``nbytes`` of the cached values (``max_bytes``) — the bound that matters
+    when the values are O(n²) matrices.  ``max_items=0`` disables caching
+    entirely (every request computes and nothing is retained).
+    """
+
+    def __init__(
+        self, max_items: int = DEFAULT_MAX_ITEMS, max_bytes: int | None = None
+    ) -> None:
+        if max_items < 0:
+            raise ValueError(f"max_items must be >= 0, got {max_items}")
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        self.max_items = max_items
+        self.max_bytes = max_bytes
+        self._entries: OrderedDict[object, object] = OrderedDict()
+        self._total_bytes = 0
+        self._lock = threading.RLock()
+        self._stats = CacheStats()
+
+    def _evict_over_bounds(self) -> None:
+        def over() -> bool:
+            if len(self._entries) > self.max_items:
+                return True
+            return (
+                self.max_bytes is not None
+                and self._total_bytes > self.max_bytes
+                and len(self._entries) > 1  # keep at least the newest entry
+            )
+
+        while over():
+            _, evicted = self._entries.popitem(last=False)
+            self._total_bytes -= _value_nbytes(evicted)
+            self._stats.evictions += 1
+
+    def get_or_compute(self, key: object, compute: Callable[[], object]) -> object:
+        """Return the cached value for ``key``, computing it on first use.
+
+        The lock is held across the compute so concurrent threads asking for
+        the same key run it exactly once.
+        """
+        if self.max_items == 0:
+            return compute()
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._stats.hits += 1
+                return self._entries[key]
+            value = compute()
+            self._stats.misses += 1
+            self._entries[key] = value
+            self._total_bytes += _value_nbytes(value)
+            self._evict_over_bounds()
+            self._stats.size = len(self._entries)
+            return value
+
+    def clear(self) -> None:
+        """Drop every entry and reset the statistics."""
+        with self._lock:
+            self._entries.clear()
+            self._total_bytes = 0
+            self._stats = CacheStats()
+
+    def stats(self) -> CacheStats:
+        """A snapshot of the current accounting."""
+        with self._lock:
+            return CacheStats(
+                hits=self._stats.hits,
+                misses=self._stats.misses,
+                evictions=self._stats.evictions,
+                size=len(self._entries),
+                bytes=self._total_bytes,
+            )
+
+
+#: The per-process pairwise-distance memo.
+_distance_cache = MemoCache()
+
+
+def cached_pairwise_distances(X: np.ndarray, metric: str = "euclidean") -> np.ndarray:
+    """Full ``(n, n)`` distance matrix for ``X``, memoised per process.
+
+    Drop-in replacement for
+    :func:`repro.clustering.distances.pairwise_distances`; the returned
+    matrix is read-only because it is shared between callers.
+    """
+    from repro.clustering.distances import pairwise_distances
+
+    X = np.asarray(X, dtype=np.float64)
+    key = (array_fingerprint(X), metric)
+
+    def compute() -> np.ndarray:
+        matrix = pairwise_distances(X, metric=metric)
+        matrix.setflags(write=False)
+        return matrix
+
+    return _distance_cache.get_or_compute(key, compute)
+
+
+def distance_cache_stats() -> CacheStats:
+    """Hit/miss accounting of the per-process distance cache."""
+    return _distance_cache.stats()
+
+
+def clear_distance_cache() -> None:
+    """Drop all memoised distance matrices (mainly for tests and benchmarks)."""
+    _distance_cache.clear()
+
+
+def configure_distance_cache(max_items: int, max_bytes: int | None = None) -> None:
+    """Re-bound the per-process distance cache; clears the current contents.
+
+    ``max_items`` caps the number of matrices, ``max_bytes`` their total
+    size; ``max_items=0`` disables memoisation entirely (useful when single
+    matrices are too large to retain).
+    """
+    global _distance_cache
+    _distance_cache = MemoCache(max_items=max_items, max_bytes=max_bytes)

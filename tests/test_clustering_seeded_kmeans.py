@@ -1,6 +1,5 @@
 """Unit tests for Seeded-KMeans and Constrained-KMeans."""
 
-import numpy as np
 import pytest
 
 from repro.clustering import ConstrainedKMeans, SeededKMeans

@@ -1,6 +1,6 @@
 """Unit tests for the constraint-graph view."""
 
-from repro.constraints import ConstraintSet, cannot_link, must_link
+from repro.constraints import cannot_link, must_link
 from repro.constraints.graph import ConstraintGraph, graph_from_pairs
 
 

@@ -1,6 +1,5 @@
 """Tests for cross-algorithm selection with CVCP (the paper's future-work extension)."""
 
-import numpy as np
 import pytest
 
 from repro.clustering import AgglomerativeClustering, FOSCOpticsDend, MPCKMeans

@@ -23,8 +23,8 @@ class TestCVCPLabelScenario:
         assert 0.0 <= search.best_score_ <= 1.0
 
     def test_finds_true_k_on_well_separated_blobs(self, blobs_dataset, side_information):
-        search = CVCP(MPCKMeans(random_state=0, n_init=1, max_iter=15),
-                      parameter_values=[2, 3, 4, 5, 6], n_folds=4, random_state=1)
+        search = CVCP(MPCKMeans(random_state=0, n_init=2, max_iter=15),
+                      parameter_values=[2, 3, 4, 5, 6], n_folds=4, random_state=2)
         search.fit(blobs_dataset.X, labeled_objects=side_information)
         # Three well-separated blobs: k=3 (or a very close value) should win
         # and, more importantly, the refit partition should match the truth.

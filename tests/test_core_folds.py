@@ -1,6 +1,5 @@
 """Unit tests for constraint-aware cross-validation folds (Scenario I and II)."""
 
-import numpy as np
 import pytest
 
 from repro.constraints import (

@@ -4,7 +4,6 @@ import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.constraints import (
-    Constraint,
     ConstraintSet,
     constraints_from_labels,
     transitive_closure,

@@ -1,6 +1,5 @@
 """Property-based tests for the CVCP fold construction (the leak-free invariant)."""
 
-import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.constraints import constraints_from_labels, transitive_closure
