@@ -1,9 +1,10 @@
 """Backend parity and scaling smoke for the parallel execution engine.
 
-Runs one tiny Figure-5-style configuration (FOSC-OPTICSDend over a reduced
-MinPts range on a small synthetic data set) once per backend, asserts that
-every backend selects the *same* parameter with *identical* per-fold scores,
-and lets pytest-benchmark record the wall-clock of each.  CI runs this file
+Runs the fixed small grid from :mod:`repro.cli.bench` (FOSC-OPTICSDend over
+a reduced MinPts range on a 240-point synthetic data set — the same grid the
+``repro bench`` regression gate times) once per backend, asserts that every
+backend selects the *same* parameter with *identical* per-fold scores, and
+lets pytest-benchmark record the wall-clock of each.  CI runs this file
 with ``--benchmark-disable`` as its parallel-correctness smoke; locally the
 timing table shows the thread/process speed-up (or overhead, at tiny sizes).
 """
@@ -12,39 +13,13 @@ from __future__ import annotations
 
 import pytest
 
-from repro.clustering import FOSCOpticsDend
-from repro.constraints import sample_labeled_objects
-from repro.core import CVCP
+from repro.cli.bench import run_grid
 from repro.core.executor import BACKENDS
-from repro.datasets import make_blobs
 from repro.utils.cache import clear_distance_cache
-
-MINPTS_VALUES = [3, 6, 9, 12]
-SEED = 20140324
-
-
-def _make_inputs():
-    dataset = make_blobs([40, 40, 40], 4, center_spread=8.0, cluster_std=0.9,
-                         random_state=5, name="bench-parallel")
-    side = sample_labeled_objects(dataset.y, 0.15, random_state=1)
-    return dataset, side
 
 
 def _run_backend(backend: str):
-    dataset, side = _make_inputs()
-    search = CVCP(
-        FOSCOpticsDend(),
-        parameter_values=MINPTS_VALUES,
-        n_folds=4,
-        random_state=SEED,
-        n_jobs=2,
-        backend=backend,
-    )
-    search.fit(dataset.X, labeled_objects=side)
-    return (
-        search.best_params_,
-        [evaluation.fold_scores for evaluation in search.cv_results_.evaluations],
-    )
+    return run_grid(backend, n_jobs=2)
 
 
 @pytest.mark.benchmark(group="parallel-backends")
@@ -54,6 +29,10 @@ def test_backend_selects_identical_parameters(benchmark, backend):
     best_params, fold_scores = benchmark.pedantic(
         _run_backend, args=(backend,), rounds=1, iterations=1
     )
+    # Selections travel in the --benchmark-json record so the CI
+    # bench-regression gate (`repro bench --compare ... --baseline ...`)
+    # can reject parameter drift, not just slowdowns.
+    benchmark.extra_info["best_params"] = best_params
     serial_best, serial_scores = _run_backend("serial")
     assert best_params == serial_best, (
         f"backend {backend!r} selected {best_params}, serial selected {serial_best}"

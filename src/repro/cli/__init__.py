@@ -1,0 +1,16 @@
+"""Command-line interface: ``python -m repro`` / the ``repro`` console script.
+
+Subcommands (see ``python -m repro --help``):
+
+* ``run`` — execute a declarative TOML/JSON pipeline config end-to-end
+  through the resumable artifact store;
+* ``report`` — re-render the reports of a pipeline from stored artifacts;
+* ``bench`` — time the CVCP grid across execution backends and compare
+  against a recorded baseline (the CI benchmark-regression gate);
+* ``datasets list`` — the data-set registry;
+* ``validate-config`` — schema-check pipeline configs without running them.
+"""
+
+from repro.cli.main import main
+
+__all__ = ["main"]

@@ -1,0 +1,220 @@
+"""Backend benchmark + baseline regression comparison for ``repro bench``.
+
+Runs the same fixed small CVCP grid as
+``benchmarks/bench_parallel_backends.py`` (FOSC-OPTICSDend over a reduced
+MinPts range on a 240-point synthetic data set) once per execution backend,
+records wall-clock and the selected parameter, and compares the fresh
+record against the committed ``BENCH_parallel.json`` baseline: the CI
+benchmark-regression job fails on any selection mismatch or on a slowdown
+beyond the configured threshold.
+
+Two fresh-record formats are understood by :func:`normalize_record`: the
+CLI's own JSON (written by ``repro bench --json``) and pytest-benchmark's
+``--benchmark-json`` output (whose per-test ``extra_info`` carries the
+selected parameters).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+from repro.clustering.fosc import FOSCOpticsDend
+from repro.constraints.generation import sample_labeled_objects
+from repro.core.cvcp import CVCP
+from repro.core.executor import BACKENDS
+from repro.datasets.synthetic import make_blobs
+from repro.utils.cache import clear_distance_cache
+
+#: The fixed grid every bench run uses (also imported by
+#: ``benchmarks/bench_parallel_backends.py``) and recorded in the
+#: baseline's ``bench_parallel_backends`` section.  Sized so one run takes
+#: a substantial fraction of a second: timing a tens-of-milliseconds grid
+#: would gate on scheduler noise rather than on the code.
+BENCH_SEED = 20140324
+BENCH_MINPTS_VALUES = (3, 6, 9, 12)
+BENCH_N_FOLDS = 4
+BENCH_CLUSTER_SIZES = (80, 80, 80)
+BENCH_GRID_DESCRIPTION = (
+    "CVCP(FOSCOpticsDend, MinPts {3,6,9,12}, 4 folds) on 240-point blobs, "
+    "15% labels, seed 20140324"
+)
+
+#: Key of the baseline section inside ``BENCH_parallel.json``.
+BASELINE_SECTION = "bench_parallel_backends"
+
+
+def run_grid(backend: str, n_jobs: int | None = 2) -> tuple[dict, list[list[float]]]:
+    """One full CVCP fit on the bench grid; returns (best_params, fold scores)."""
+    dataset = make_blobs(
+        list(BENCH_CLUSTER_SIZES),
+        4,
+        center_spread=8.0,
+        cluster_std=0.9,
+        random_state=5,
+        name="bench-parallel",
+    )
+    side = sample_labeled_objects(dataset.y, 0.15, random_state=1)
+    search = CVCP(
+        FOSCOpticsDend(),
+        parameter_values=list(BENCH_MINPTS_VALUES),
+        n_folds=BENCH_N_FOLDS,
+        random_state=BENCH_SEED,
+        n_jobs=n_jobs,
+        backend=backend,
+    )
+    search.fit(dataset.X, labeled_objects=side)
+    fold_scores = [list(evaluation.fold_scores) for evaluation in search.cv_results_.evaluations]
+    return dict(search.best_params_), fold_scores
+
+
+def run_bench(
+    backends: tuple[str, ...] = BACKENDS,
+    *,
+    n_jobs: int | None = 2,
+    rounds: int = 1,
+) -> dict:
+    """Time the bench grid on every backend and assert cross-backend parity.
+
+    Returns a fresh record in the CLI JSON format.  Raises ``RuntimeError``
+    when any backend selects different parameters or produces different
+    per-fold scores than the serial reference (the engine's bit-identical
+    guarantee — a violation is always a bug, never noise).
+    """
+    results: dict[str, dict] = {}
+    reference: tuple[dict, list[list[float]]] | None = None
+    for backend in backends:
+        best_time = float("inf")
+        best_params: dict = {}
+        fold_scores: list[list[float]] = []
+        for _ in range(max(1, rounds)):
+            # Cold cache every round: each sample then measures the same
+            # thing as every other (and as the recorded baseline protocol),
+            # including the O(n^2) distance-matrix cost the cache absorbs.
+            clear_distance_cache()
+            start = time.perf_counter()
+            best_params, fold_scores = run_grid(backend, n_jobs)
+            best_time = min(best_time, time.perf_counter() - start)
+        if reference is None:
+            if backend == "serial":
+                reference = (best_params, fold_scores)
+            else:
+                clear_distance_cache()
+                reference = run_grid("serial", n_jobs)
+        if (best_params, fold_scores) != reference:
+            raise RuntimeError(
+                f"backend {backend!r} diverged from the serial reference: "
+                f"selected {best_params}, expected {reference[0]}"
+            )
+        results[backend] = {
+            "mean_s": best_time,
+            "best_params": best_params,
+            "rounds": max(1, rounds),
+        }
+    return {
+        "kind": "repro-bench",
+        "grid": BENCH_GRID_DESCRIPTION,
+        "machine": {"cpu_count": os.cpu_count(), "python": platform.python_version()},
+        "results": results,
+    }
+
+
+def _backend_from_test_name(name: str) -> str | None:
+    if "[" not in name or not name.endswith("]"):
+        return None
+    candidate = name[name.index("[") + 1 : -1]
+    return candidate if candidate in BACKENDS else None
+
+
+def normalize_record(record: dict) -> dict[str, dict]:
+    """Normalise a fresh record to ``{backend: {mean_s, best_params}}``.
+
+    Accepts the CLI format (``{"kind": "repro-bench", "results": ...}``)
+    and pytest-benchmark's ``--benchmark-json`` format.
+    """
+    if record.get("kind") == "repro-bench":
+        return {
+            backend: {"mean_s": entry["mean_s"], "best_params": entry.get("best_params", {})}
+            for backend, entry in record["results"].items()
+        }
+    if "benchmarks" in record:
+        normalized: dict[str, dict] = {}
+        for entry in record["benchmarks"]:
+            backend = _backend_from_test_name(entry.get("name", ""))
+            if backend is None:
+                continue
+            normalized[backend] = {
+                "mean_s": entry["stats"]["mean"],
+                "best_params": entry.get("extra_info", {}).get("best_params", {}),
+            }
+        if not normalized:
+            raise ValueError("pytest-benchmark record contains no recognised backend benchmarks")
+        return normalized
+    raise ValueError("unrecognised benchmark record (expected repro-bench or pytest-benchmark JSON)")
+
+
+def compare_records(
+    fresh: dict[str, dict],
+    baseline: dict,
+    *,
+    max_slowdown: float = 0.25,
+    expected_backends: tuple[str, ...] | None = None,
+) -> list[str]:
+    """Regression problems of a fresh record against the committed baseline.
+
+    Returns an empty list when every backend matches the baseline's
+    expected parameter selection and is at most ``max_slowdown`` (fraction,
+    e.g. ``0.25`` = 25%) slower than the baseline wall-clock.
+
+    ``expected_backends`` names the backends the fresh record was meant to
+    cover — baseline backends outside it are not flagged as missing, so a
+    deliberate ``--backends thread`` run can still be gated.  ``None``
+    (the CI gate) requires every baselined backend to be present.
+    """
+    section = baseline.get(BASELINE_SECTION)
+    if not isinstance(section, dict):
+        return [f"baseline is missing the {BASELINE_SECTION!r} section"]
+    expected = section.get("expected_best_params", {})
+    baseline_means = section.get("mean_s", {})
+
+    problems: list[str] = []
+    for backend, entry in sorted(fresh.items()):
+        params = entry.get("best_params", {})
+        if expected and params != expected:
+            problems.append(f"{backend}: selected parameters {params} do not match baseline {expected}")
+        base = baseline_means.get(backend)
+        if base is None:
+            continue
+        slowdown = entry["mean_s"] / base - 1.0
+        if slowdown > max_slowdown:
+            problems.append(
+                f"{backend}: {entry['mean_s']:.4f}s is {slowdown:+.0%} vs baseline "
+                f"{base:.4f}s (allowed {max_slowdown:+.0%})"
+            )
+    for backend in sorted(baseline_means):
+        if expected_backends is not None and backend not in expected_backends:
+            continue
+        if backend not in fresh:
+            problems.append(f"{backend}: present in the baseline but missing from the fresh record")
+    return problems
+
+
+def load_json(path: str | Path) -> dict:
+    with Path(path).open("r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def format_bench_table(fresh: dict[str, dict], baseline: dict | None = None) -> str:
+    """Fixed-width summary of a normalised record (optionally vs baseline)."""
+    baseline_means = {}
+    if baseline is not None:
+        baseline_means = baseline.get(BASELINE_SECTION, {}).get("mean_s", {})
+    lines = [f"{'backend':<10} {'wall-clock':>12} {'vs baseline':>12}  selection"]
+    for backend, entry in sorted(fresh.items()):
+        base = baseline_means.get(backend)
+        delta = f"{entry['mean_s'] / base - 1.0:+.0%}" if base else "-"
+        lines.append(f"{backend:<10} {entry['mean_s']:>11.4f}s {delta:>12}  {entry.get('best_params', {})}")
+    return "\n".join(lines)

@@ -1,0 +1,262 @@
+"""Argument parsing and dispatch for the ``repro`` command-line interface."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+from repro.cli import bench as bench_module
+from repro.core.executor import BACKENDS
+from repro.datasets.registry import DATASET_NAMES, get_dataset
+from repro.experiments.artifacts import ArtifactStore
+from repro.experiments.pipeline import (
+    ConfigError,
+    load_pipeline_spec,
+    run_pipeline,
+    validate_pipeline_file,
+)
+from repro.experiments.reporting import format_table
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Config-driven experiment pipelines for the CVCP reproduction "
+            "(Pourrajabi et al., EDBT 2014), backed by a resumable artifact store."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser(
+        "run",
+        help="execute a TOML/JSON pipeline config end-to-end",
+        description=(
+            "Run the experiment pipeline described by a config file. Completed "
+            "cells are served from the artifact store, so re-running resumes "
+            "instead of recomputing; the cache-hit count is reported after the run."
+        ),
+    )
+    run_parser.add_argument("config", help="path to a .toml or .json pipeline config")
+    _add_run_options(run_parser)
+    run_parser.add_argument(
+        "--force",
+        action="store_true",
+        help="ignore stored artifacts and recompute (fresh results overwrite in place)",
+    )
+    run_parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the rendered report on stdout",
+    )
+
+    report_parser = subparsers.add_parser(
+        "report",
+        help="re-render reports for a config from stored artifacts",
+        description=(
+            "Regenerate the report files of a pipeline. Work already persisted in "
+            "the artifact store is reused, so this is cheap after a completed run."
+        ),
+    )
+    report_parser.add_argument("config", help="path to a .toml or .json pipeline config")
+    _add_run_options(report_parser)
+
+    bench_parser = subparsers.add_parser(
+        "bench",
+        help="time the CVCP grid per backend and compare against a baseline",
+        description=(
+            "Run the fixed small benchmark grid on each execution backend, or load a "
+            "fresh record with --compare, and optionally gate it against the committed "
+            "baseline (exit 1 on a selection mismatch or a slowdown beyond --max-slowdown)."
+        ),
+    )
+    bench_parser.add_argument(
+        "--backends",
+        default=",".join(BACKENDS),
+        help=f"comma-separated backends to run (default: {','.join(BACKENDS)})",
+    )
+    bench_parser.add_argument(
+        "--n-jobs",
+        type=int,
+        default=2,
+        help="workers for the parallel backends (default: 2)",
+    )
+    bench_parser.add_argument(
+        "--rounds",
+        type=int,
+        default=1,
+        help="timing rounds per backend; best is kept (default: 1)",
+    )
+    bench_parser.add_argument(
+        "--json",
+        dest="json_out",
+        metavar="PATH",
+        help="write the fresh record to PATH",
+    )
+    bench_parser.add_argument(
+        "--compare",
+        metavar="FRESH",
+        help="load a fresh record (CLI or pytest-benchmark JSON) instead of running the grid",
+    )
+    bench_parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="baseline JSON to gate against (e.g. BENCH_parallel.json)",
+    )
+    bench_parser.add_argument(
+        "--max-slowdown",
+        type=float,
+        default=0.25,
+        help="allowed fractional slowdown vs baseline (default: 0.25 = 25%%)",
+    )
+
+    datasets_parser = subparsers.add_parser("datasets", help="inspect the data-set registry")
+    datasets_subparsers = datasets_parser.add_subparsers(dest="datasets_command", required=True)
+    datasets_subparsers.add_parser("list", help="list registered data sets with their shapes")
+
+    validate_parser = subparsers.add_parser(
+        "validate-config",
+        help="schema-check pipeline configs without running them",
+        description="Exit 0 when every given config is valid; print each problem otherwise.",
+    )
+    validate_parser.add_argument("configs", nargs="+", help="config files to validate")
+
+    return parser
+
+
+def _add_run_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--artifacts-root",
+        metavar="DIR",
+        help="override the artifact-store location from the config",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        help="override the execution backend (results are bit-identical across backends)",
+    )
+    parser.add_argument("--n-jobs", type=int, help="override the worker count")
+
+
+def _command_run(args: argparse.Namespace, *, reports_only: bool = False) -> int:
+    try:
+        spec = load_pipeline_spec(args.config)
+    except ConfigError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"cannot read config {args.config}: {exc}", file=sys.stderr)
+        return 2
+    if args.artifacts_root:
+        spec = spec.with_overrides(artifacts_root=Path(args.artifacts_root))
+    refresh = bool(getattr(args, "force", False))
+    store = ArtifactStore(spec.artifacts_root, refresh=refresh)
+    result = run_pipeline(spec, store=store, backend=args.backend, n_jobs=args.n_jobs)
+
+    quiet = bool(getattr(args, "quiet", False)) or reports_only
+    if not quiet:
+        print(result.report_text)
+    print(store.describe_stats())
+    for path in result.report_paths:
+        print(f"wrote {path}")
+    return 0
+
+
+def _command_bench(args: argparse.Namespace) -> int:
+    expected_backends = None
+    if args.compare:
+        if args.json_out:
+            print(
+                "--json records a live grid run and cannot be combined with --compare "
+                "(the fresh record already exists on disk)",
+                file=sys.stderr,
+            )
+            return 2
+        record = bench_module.load_json(args.compare)
+    else:
+        backends = tuple(name.strip() for name in args.backends.split(",") if name.strip())
+        unknown = [name for name in backends if name not in BACKENDS]
+        if unknown:
+            print(
+                f"unknown backend(s) {', '.join(unknown)}; expected {', '.join(BACKENDS)}",
+                file=sys.stderr,
+            )
+            return 2
+        # A deliberate subset run is gated only on the backends it covers.
+        expected_backends = backends
+        record = bench_module.run_bench(backends, n_jobs=args.n_jobs, rounds=args.rounds)
+        if args.json_out:
+            Path(args.json_out).write_text(
+                json.dumps(record, sort_keys=True, indent=2) + "\n",
+                encoding="utf-8",
+            )
+            print(f"wrote {args.json_out}")
+
+    fresh = bench_module.normalize_record(record)
+    baseline = bench_module.load_json(args.baseline) if args.baseline else None
+    print(bench_module.format_bench_table(fresh, baseline))
+
+    if baseline is not None:
+        problems = bench_module.compare_records(
+            fresh,
+            baseline,
+            max_slowdown=args.max_slowdown,
+            expected_backends=expected_backends,
+        )
+        if problems:
+            print("benchmark regression detected:", file=sys.stderr)
+            for problem in problems:
+                print(f"  - {problem}", file=sys.stderr)
+            return 1
+        print(f"benchmark within baseline (max slowdown {args.max_slowdown:.0%})")
+    return 0
+
+
+def _command_datasets_list() -> int:
+    rows = []
+    for name in DATASET_NAMES:
+        dataset = get_dataset(name, random_state=0)
+        note = "collection of 100 (paper)" if name == "ALOI" else "single"
+        rows.append([name, dataset.n_samples, dataset.n_features, dataset.n_classes, note])
+    headers = ["name", "n_samples", "n_features", "n_classes", "kind"]
+    print(format_table(headers, rows, title="Registered data sets"))
+    return 0
+
+
+def _command_validate(args: argparse.Namespace) -> int:
+    status = 0
+    for config in args.configs:
+        problems = validate_pipeline_file(config)
+        if problems:
+            status = 2
+            print(f"{config}: INVALID")
+            for problem in problems:
+                print(f"  - {problem}")
+        else:
+            print(f"{config}: ok")
+    return status
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "run":
+            return _command_run(args)
+        if args.command == "report":
+            return _command_run(args, reports_only=True)
+        if args.command == "bench":
+            return _command_bench(args)
+        if args.command == "datasets":
+            return _command_datasets_list()
+        if args.command == "validate-config":
+            return _command_validate(args)
+    except BrokenPipeError:
+        # stdout went away mid-print (e.g. piped into `head`); redirect the
+        # remaining flushes into the void so shutdown stays silent.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -93,7 +93,9 @@ class FOSC:
             # extraction would return for a structureless data set.
             labels = np.zeros(tree.n_samples, dtype=np.int64)
             root_members = tree.root.members
-            labels[[p for p in range(tree.n_samples) if p not in root_members]] = -1
+            in_root = np.zeros(tree.n_samples, dtype=bool)
+            in_root[np.fromiter(root_members, dtype=np.intp, count=len(root_members))] = True
+            labels[~in_root] = -1
             return FOSCSelection([0], labels, objective, use_constraints)
 
         labels = tree.labels_for_selection(selected)

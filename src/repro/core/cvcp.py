@@ -136,6 +136,16 @@ class CVCP:
         (default), ``"thread"`` or ``"process"``.  Every cell derives its
         seed from its grid coordinates, so all backends return bit-identical
         results for the same ``random_state``.
+    artifact_store / artifact_scope:
+        Optional per-cell resume through an
+        :class:`~repro.experiments.artifacts.ArtifactStore`-compatible
+        store.  ``artifact_scope`` must be a JSON-serialisable mapping that
+        uniquely pins this grid's inputs (the experiment drivers pass the
+        trial's artifact key); each ``(value_index, fold)`` score is then
+        looked up before computing and written through after, so an
+        interrupted grid resumes from its completed cells.  Lookups and
+        writes stay in the submitting process — worker tasks never touch
+        the store.
 
     Attributes
     ----------
@@ -179,6 +189,8 @@ class CVCP:
         random_state: RandomStateLike = None,
         n_jobs: int | None = None,
         backend: str = "serial",
+        artifact_store=None,
+        artifact_scope: dict | None = None,
     ) -> None:
         if not list(parameter_values):
             raise ValueError("parameter_values must not be empty")
@@ -198,6 +210,8 @@ class CVCP:
         self.random_state = random_state
         self.n_jobs = n_jobs
         self.backend = backend
+        self.artifact_store = artifact_store
+        self.artifact_scope = artifact_scope
 
     # ------------------------------------------------------------------
     def fit(
@@ -262,18 +276,54 @@ class CVCP:
         # The serial/thread backends read the matrix straight from this
         # process's registry; only process workers need it shipped (once per
         # worker, via the initializer) rather than pickled into every task.
-        executor = get_executor(
-            self.backend, self.n_jobs,
-            initializer=_register_grid_data if self.backend == "process" else None,
-            initargs=(data_key, X) if self.backend == "process" else (),
-        )
-        _acquire_grid_data(data_key, X)
-        try:
-            scores = executor.run(_evaluate_grid_cell, tasks)
-        finally:
-            _release_grid_data(data_key)
-
         n_folds = len(folds)
+
+        # Per-cell resume: cells whose score is already persisted are
+        # served from the store; only the remaining cells hit the executor,
+        # and every fresh score is written through *as its task completes*
+        # (executor ``on_result`` hook, running in this process), so a grid
+        # interrupted mid-flight continues from its finished cells.
+        scores: list[float | None] = [None] * len(tasks)
+        pending: list[tuple[int, dict | None]] = []
+        use_store = self.artifact_store is not None and self.artifact_scope is not None
+        for index in range(len(tasks)):
+            cell_key = None
+            if use_store:
+                value_index, fold_index = divmod(index, n_folds)
+                cell_key = dict(
+                    self.artifact_scope, phase="grid", value_index=value_index, fold=fold_index
+                )
+                cached = self.artifact_store.get("cell", cell_key)
+                if cached is not None:
+                    scores[index] = float(cached)
+                    continue
+            pending.append((index, cell_key))
+
+        if pending:
+            # Without a store the callback is omitted entirely, keeping the
+            # pool backends on their chunked fast path.
+            persist_cell = None
+            if use_store:
+                def persist_cell(position: int, score: float) -> None:
+                    self.artifact_store.put("cell", pending[position][1], score)
+
+            executor = get_executor(
+                self.backend, self.n_jobs,
+                initializer=_register_grid_data if self.backend == "process" else None,
+                initargs=(data_key, X) if self.backend == "process" else (),
+            )
+            _acquire_grid_data(data_key, X)
+            try:
+                computed = executor.run(
+                    _evaluate_grid_cell,
+                    [tasks[index] for index, _ in pending],
+                    on_result=persist_cell,
+                )
+            finally:
+                _release_grid_data(data_key)
+            for (index, _), score in zip(pending, computed):
+                scores[index] = score
+
         evaluations = [
             ParameterEvaluation(
                 value=value,

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import os
 from abc import ABC, abstractmethod
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_completed
 from typing import Any, Callable, Iterable, Sequence
 
 import numpy as np
@@ -74,11 +74,35 @@ class Executor(ABC):
     name: str = ""
 
     @abstractmethod
-    def run(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> list[Any]:
+    def run(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: Sequence[Any],
+        on_result: Callable[[int, Any], None] | None = None,
+    ) -> list[Any]:
         """Apply ``fn`` to every task, returning results in task order.
+
+        ``on_result(index, result)`` — when given — is invoked in the
+        *submitting* process as each task finishes (task order for the
+        serial backend, completion order for the pools), which is what
+        lets callers persist partial progress incrementally: results
+        delivered before an interruption have already been handed over.
 
         The first exception raised by a task is re-raised here.
         """
+
+
+def _run_inline(
+    fn: Callable[[Any], Any],
+    tasks: Sequence[Any],
+    on_result: Callable[[int, Any], None] | None,
+) -> list[Any]:
+    results: list[Any] = []
+    for index, task in enumerate(tasks):
+        results.append(fn(task))
+        if on_result is not None:
+            on_result(index, results[-1])
+    return results
 
 
 class SerialExecutor(Executor):
@@ -94,10 +118,15 @@ class SerialExecutor(Executor):
         self.initializer = initializer
         self.initargs = initargs
 
-    def run(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> list[Any]:
+    def run(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: Sequence[Any],
+        on_result: Callable[[int, Any], None] | None = None,
+    ) -> list[Any]:
         if self.initializer is not None:
             self.initializer(*self.initargs)
-        return [fn(task) for task in tasks]
+        return _run_inline(fn, tasks, on_result)
 
 
 class _PoolExecutor(Executor):
@@ -116,7 +145,12 @@ class _PoolExecutor(Executor):
     def _pool(self, max_workers: int):  # pragma: no cover - trivial dispatch
         raise NotImplementedError
 
-    def run(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> list[Any]:
+    def run(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: Sequence[Any],
+        on_result: Callable[[int, Any], None] | None = None,
+    ) -> list[Any]:
         tasks = list(tasks)
         if not tasks:
             return []
@@ -124,10 +158,20 @@ class _PoolExecutor(Executor):
         if max_workers == 1:
             if self.initializer is not None:
                 self.initializer(*self.initargs)
-            return [fn(task) for task in tasks]
-        chunksize = max(1, len(tasks) // (max_workers * 4))
+            return _run_inline(fn, tasks, on_result)
         with self._pool(max_workers) as pool:
-            return list(pool.map(fn, tasks, chunksize=chunksize))
+            if on_result is None:
+                chunksize = max(1, len(tasks) // (max_workers * 4))
+                return list(pool.map(fn, tasks, chunksize=chunksize))
+            # Per-task submission so every completion can be handed to the
+            # caller immediately (chunked map would batch deliveries).
+            futures = {pool.submit(fn, task): index for index, task in enumerate(tasks)}
+            results: list[Any] = [None] * len(tasks)
+            for future in as_completed(futures):
+                index = futures[future]
+                results[index] = future.result()
+                on_result(index, results[index])
+            return results
 
 
 class ThreadExecutor(_PoolExecutor):

@@ -14,8 +14,20 @@
 * :mod:`repro.experiments.figures` — Figures 5–8 (score curves over the
   parameter range for a representative ALOI data set).
 * :mod:`repro.experiments.ablation` — extra design-choice ablations.
-* :mod:`repro.experiments.reporting` — plain-text table rendering.
+* :mod:`repro.experiments.reporting` — plain-text table rendering and
+  report emission through the artifact store.
+* :mod:`repro.experiments.artifacts` — content-addressed, resumable
+  artifact store persisting per-trial results.
+* :mod:`repro.experiments.pipeline` — declarative TOML/JSON pipeline specs
+  and the driver behind the ``repro`` CLI.
 """
+
+from repro.experiments.artifacts import (
+    ArtifactStore,
+    StoreStats,
+    dataset_fingerprint,
+    trial_config_fingerprint,
+)
 
 from repro.experiments.config import (
     ExperimentConfig,
@@ -27,12 +39,21 @@ from repro.experiments.config import (
     LABEL_FRACTIONS,
     CONSTRAINT_FRACTIONS,
 )
+from repro.experiments.pipeline import (
+    ConfigError,
+    PipelineResult,
+    PipelineSpec,
+    load_pipeline_spec,
+    run_pipeline,
+    validate_pipeline_file,
+)
 from repro.experiments.runner import (
     TrialResult,
     run_trial,
     run_trials,
     make_side_information,
     algorithm_factory,
+    trial_artifact_key,
 )
 from repro.experiments.correlation import correlation_table, CorrelationTable
 from repro.experiments.comparison import (
@@ -52,9 +73,24 @@ from repro.experiments.reporting import (
     format_correlation_table,
     format_comparison_table,
     format_boxplot_summary,
+    render_report,
+    write_report,
 )
 
 __all__ = [
+    "ArtifactStore",
+    "StoreStats",
+    "dataset_fingerprint",
+    "trial_config_fingerprint",
+    "ConfigError",
+    "PipelineResult",
+    "PipelineSpec",
+    "load_pipeline_spec",
+    "run_pipeline",
+    "validate_pipeline_file",
+    "trial_artifact_key",
+    "render_report",
+    "write_report",
     "ExperimentConfig",
     "PAPER_CONFIG",
     "QUICK_CONFIG",

@@ -28,6 +28,7 @@ from repro.core.folds import CVCPFold
 from repro.core.scoring import score_partition
 from repro.datasets.base import Dataset
 from repro.evaluation.external import overall_f_measure
+from repro.experiments.artifacts import ArtifactStore, dataset_fingerprint, trial_config_fingerprint
 from repro.experiments.config import ExperimentConfig, default_config
 from repro.experiments.runner import (
     AlgorithmName,
@@ -47,6 +48,53 @@ class AblationResult:
 
     def as_rows(self) -> list[tuple[str, float]]:
         return sorted(self.measurements.items())
+
+
+def _keyable_seed(random_state: RandomStateLike, config: ExperimentConfig) -> int | None:
+    """Integer seed usable as an artifact key, or ``None`` for generators.
+
+    A generator's state cannot be serialised into a stable key, so ablations
+    handed one always recompute; the common paths (no seed, which falls back
+    to ``config.seed``, or an explicit integer) are cacheable.
+    """
+    if random_state is None:
+        return int(config.seed)
+    if isinstance(random_state, (int, np.integer)):
+        return int(random_state)
+    return None
+
+
+def _ablation_key(
+    name: str,
+    dataset: Dataset,
+    config: ExperimentConfig,
+    algorithm: AlgorithmName,
+    amount: float,
+    seed: int,
+    extra: dict,
+) -> dict:
+    key = {
+        "ablation": name,
+        "config": trial_config_fingerprint(config),
+        "dataset": dataset_fingerprint(dataset),
+        "algorithm": str(algorithm),
+        "amount": float(amount),
+        "seed": int(seed),
+    }
+    key.update(extra)
+    return key
+
+
+def _cached_ablation(store: ArtifactStore | None, key: dict | None, compute) -> AblationResult:
+    """Serve an ablation from the store when possible, else compute and persist."""
+    if store is not None and key is not None:
+        cached = store.get("ablation", key)
+        if cached is not None:
+            return AblationResult(name=cached["name"], measurements=dict(cached["measurements"]))
+    result = compute()
+    if store is not None and key is not None:
+        store.put("ablation", key, {"name": result.name, "measurements": result.measurements})
+    return result
 
 
 def _naive_constraint_folds(
@@ -92,6 +140,7 @@ def closure_leakage_ablation(
     random_state: RandomStateLike = None,
     n_jobs: int | None = None,
     backend: str | None = None,
+    store: ArtifactStore | None = None,
 ) -> AblationResult:
     """Internal-score inflation of the naive constraint split vs the proper one.
 
@@ -102,40 +151,48 @@ def closure_leakage_ablation(
     training time.
     """
     config = (config or default_config()).with_execution(backend=backend, n_jobs=n_jobs)
-    rng = check_random_state(random_state if random_state is not None else config.seed)
+    seed = _keyable_seed(random_state, config)
+    key = None
+    if seed is not None:
+        key = _ablation_key("closure-leakage", dataset, config, algorithm, amount, seed, {})
 
-    side = make_side_information(dataset, "constraints", amount, random_state=rng)
-    estimator = algorithm_factory(algorithm, config, random_state=rng)
-    values = parameter_values_for(algorithm, dataset, config)
+    def compute() -> AblationResult:
+        rng = check_random_state(random_state if random_state is not None else config.seed)
 
-    proper = CVCP(estimator, values, n_folds=config.n_folds, refit=False, random_state=rng,
-                  n_jobs=config.n_jobs, backend=config.backend)
-    proper.fit(dataset.X, constraints=side.constraints)
+        side = make_side_information(dataset, "constraints", amount, random_state=rng)
+        estimator = algorithm_factory(algorithm, config, random_state=rng)
+        values = parameter_values_for(algorithm, dataset, config)
 
-    naive_folds = _naive_constraint_folds(
-        transitive_closure(side.constraints, strict=False), proper.cv_results_.n_folds, rng
-    )
-    naive_best = -np.inf
-    for value in values:
-        fold_scores = []
-        for fold in naive_folds:
-            model = estimator.clone(**{estimator.tuned_parameter: value})
-            if "random_state" in model.get_params():
-                model.set_params(random_state=int(rng.integers(0, 2**31 - 1)))
-            model.fit(dataset.X, constraints=fold.training_constraints)
-            fold_scores.append(
-                score_partition(model.labels_, fold.test_constraints, scoring="average_f")
-            )
-        naive_best = max(naive_best, float(np.mean(fold_scores)))
+        proper = CVCP(estimator, values, n_folds=config.n_folds, refit=False, random_state=rng,
+                      n_jobs=config.n_jobs, backend=config.backend)
+        proper.fit(dataset.X, constraints=side.constraints)
 
-    return AblationResult(
-        name="closure-leakage",
-        measurements={
-            "proper_best_internal_score": float(proper.cv_results_.best_score),
-            "naive_best_internal_score": float(naive_best),
-            "inflation": float(naive_best - proper.cv_results_.best_score),
-        },
-    )
+        naive_folds = _naive_constraint_folds(
+            transitive_closure(side.constraints, strict=False), proper.cv_results_.n_folds, rng
+        )
+        naive_best = -np.inf
+        for value in values:
+            fold_scores = []
+            for fold in naive_folds:
+                model = estimator.clone(**{estimator.tuned_parameter: value})
+                if "random_state" in model.get_params():
+                    model.set_params(random_state=int(rng.integers(0, 2**31 - 1)))
+                model.fit(dataset.X, constraints=fold.training_constraints)
+                fold_scores.append(
+                    score_partition(model.labels_, fold.test_constraints, scoring="average_f")
+                )
+            naive_best = max(naive_best, float(np.mean(fold_scores)))
+
+        return AblationResult(
+            name="closure-leakage",
+            measurements={
+                "proper_best_internal_score": float(proper.cv_results_.best_score),
+                "naive_best_internal_score": float(naive_best),
+                "inflation": float(naive_best - proper.cv_results_.best_score),
+            },
+        )
+
+    return _cached_ablation(store, key, compute)
 
 
 def fold_count_ablation(
@@ -148,26 +205,36 @@ def fold_count_ablation(
     random_state: RandomStateLike = None,
     n_jobs: int | None = None,
     backend: str | None = None,
+    store: ArtifactStore | None = None,
 ) -> AblationResult:
     """External quality of the CVCP-selected parameter for several fold counts."""
     config = (config or default_config()).with_execution(backend=backend, n_jobs=n_jobs)
-    rng = check_random_state(random_state if random_state is not None else config.seed)
+    seed = _keyable_seed(random_state, config)
+    key = None
+    if seed is not None:
+        extra = {"fold_counts": [int(count) for count in fold_counts]}
+        key = _ablation_key("fold-count", dataset, config, algorithm, amount, seed, extra)
 
-    side = make_side_information(dataset, "labels", amount, random_state=rng)
-    estimator = algorithm_factory(algorithm, config, random_state=rng)
-    values = parameter_values_for(algorithm, dataset, config)
-    exclude = side.involved_objects
+    def compute() -> AblationResult:
+        rng = check_random_state(random_state if random_state is not None else config.seed)
 
-    measurements: dict[str, float] = {}
-    for n_folds in fold_counts:
-        search = CVCP(estimator, values, n_folds=n_folds, refit=True,
-                      random_state=int(rng.integers(0, 2**31 - 1)),
-                      n_jobs=config.n_jobs, backend=config.backend)
-        search.fit(dataset.X, labeled_objects=side.labeled_objects)
-        measurements[f"n_folds={n_folds}"] = overall_f_measure(
-            dataset.y, search.labels_, exclude=exclude
-        )
-    return AblationResult(name="fold-count", measurements=measurements)
+        side = make_side_information(dataset, "labels", amount, random_state=rng)
+        estimator = algorithm_factory(algorithm, config, random_state=rng)
+        values = parameter_values_for(algorithm, dataset, config)
+        exclude = side.involved_objects
+
+        measurements: dict[str, float] = {}
+        for n_folds in fold_counts:
+            search = CVCP(estimator, values, n_folds=n_folds, refit=True,
+                          random_state=int(rng.integers(0, 2**31 - 1)),
+                          n_jobs=config.n_jobs, backend=config.backend)
+            search.fit(dataset.X, labeled_objects=side.labeled_objects)
+            measurements[f"n_folds={n_folds}"] = overall_f_measure(
+                dataset.y, search.labels_, exclude=exclude
+            )
+        return AblationResult(name="fold-count", measurements=measurements)
+
+    return _cached_ablation(store, key, compute)
 
 
 def scorer_ablation(
@@ -180,21 +247,31 @@ def scorer_ablation(
     random_state: RandomStateLike = None,
     n_jobs: int | None = None,
     backend: str | None = None,
+    store: ArtifactStore | None = None,
 ) -> AblationResult:
     """External quality of the parameter chosen under different internal scorers."""
     config = (config or default_config()).with_execution(backend=backend, n_jobs=n_jobs)
-    rng = check_random_state(random_state if random_state is not None else config.seed)
+    seed = _keyable_seed(random_state, config)
+    key = None
+    if seed is not None:
+        extra = {"scorers": [str(scoring) for scoring in scorers]}
+        key = _ablation_key("internal-scorer", dataset, config, algorithm, amount, seed, extra)
 
-    side = make_side_information(dataset, "labels", amount, random_state=rng)
-    estimator = algorithm_factory(algorithm, config, random_state=rng)
-    values = parameter_values_for(algorithm, dataset, config)
-    exclude = side.involved_objects
+    def compute() -> AblationResult:
+        rng = check_random_state(random_state if random_state is not None else config.seed)
 
-    measurements: dict[str, float] = {}
-    for scoring in scorers:
-        search = CVCP(estimator, values, n_folds=config.n_folds, scoring=scoring,
-                      refit=True, random_state=int(rng.integers(0, 2**31 - 1)),
-                      n_jobs=config.n_jobs, backend=config.backend)
-        search.fit(dataset.X, labeled_objects=side.labeled_objects)
-        measurements[scoring] = overall_f_measure(dataset.y, search.labels_, exclude=exclude)
-    return AblationResult(name="internal-scorer", measurements=measurements)
+        side = make_side_information(dataset, "labels", amount, random_state=rng)
+        estimator = algorithm_factory(algorithm, config, random_state=rng)
+        values = parameter_values_for(algorithm, dataset, config)
+        exclude = side.involved_objects
+
+        measurements: dict[str, float] = {}
+        for scoring in scorers:
+            search = CVCP(estimator, values, n_folds=config.n_folds, scoring=scoring,
+                          refit=True, random_state=int(rng.integers(0, 2**31 - 1)),
+                          n_jobs=config.n_jobs, backend=config.backend)
+            search.fit(dataset.X, labeled_objects=side.labeled_objects)
+            measurements[scoring] = overall_f_measure(dataset.y, search.labels_, exclude=exclude)
+        return AblationResult(name="internal-scorer", measurements=measurements)
+
+    return _cached_ablation(store, key, compute)

@@ -1,0 +1,222 @@
+"""Content-addressed, resumable artifact store for experiment results.
+
+Every expensive unit of experimental work — one trial of one algorithm on
+one data set with one amount of side information, or one ablation run — is
+persisted as a small JSON *artifact* keyed by the exact inputs that
+determine its result:
+
+* a fingerprint of the :class:`~repro.experiments.config.ExperimentConfig`
+  fields that influence a single trial (fold count, parameter ranges,
+  estimator budgets — *not* the execution backend, which is bit-identical
+  by construction);
+* a fingerprint of the data set content (name, feature matrix, labels);
+* the algorithm, scenario and amount of side information;
+* the trial's derived seed (every per-value, per-fold grid cell inside the
+  trial derives deterministically from it, so the seed pins the whole
+  ``value_index × fold`` grid).
+
+Interrupted or re-run grids therefore skip completed cells: the experiment
+drivers ask the store before computing and write through it after, and the
+store counts hits/misses so a resumed run can report exactly how much work
+it reused.
+
+Layout on disk (all writes are atomic rename-into-place)::
+
+    <root>/
+        <kind>/<digest[:2]>/<digest>.json   # one artifact per key
+        reports/<name>/                     # rendered reports (see reporting)
+
+where ``digest`` is the SHA-256 of the canonical JSON encoding of the key,
+i.e. the store is content-addressed by *key*, and artifact payloads
+round-trip exactly (Python's JSON float encoding is shortest-roundtrip, so
+cached results are bit-identical to freshly computed ones).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+import threading
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.utils.cache import array_fingerprint
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.datasets.base import Dataset
+    from repro.experiments.config import ExperimentConfig
+
+#: Bumped whenever the artifact schema changes incompatibly; part of every
+#: key, so stale artifacts from older schemas simply never hit.
+SCHEMA_VERSION = 1
+
+#: ``ExperimentConfig`` fields that change the outcome of a *single* trial.
+#: Everything else (trial counts, data-set lists, side-information menus,
+#: the execution engine) only selects *which* trials run, so excluding it
+#: lets e.g. an ``n_trials`` bump reuse every already-computed trial.
+TRIAL_CONFIG_FIELDS: tuple[str, ...] = (
+    "n_folds",
+    "minpts_range",
+    "max_k",
+    "mpck_n_init",
+    "mpck_max_iter",
+)
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON encoding used for key hashing and summaries."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def key_digest(kind: str, key: dict[str, Any]) -> str:
+    """SHA-256 content address of an artifact key."""
+    record = {"schema": SCHEMA_VERSION, "kind": kind, "key": key}
+    return hashlib.sha256(canonical_json(record).encode("utf-8")).hexdigest()
+
+
+def trial_config_fingerprint(config: "ExperimentConfig") -> str:
+    """Fingerprint of the config fields that determine a single trial."""
+    fields = {name: getattr(config, name) for name in TRIAL_CONFIG_FIELDS}
+    for name, value in fields.items():
+        if isinstance(value, tuple):
+            fields[name] = list(value)
+    return hashlib.sha256(canonical_json(fields).encode("utf-8")).hexdigest()
+
+
+def dataset_fingerprint(dataset: "Dataset") -> str:
+    """Content fingerprint of a data set (name, features and labels)."""
+    parts = f"{dataset.name}|{array_fingerprint(dataset.X)}|{array_fingerprint(dataset.y)}"
+    return hashlib.sha256(parts.encode("utf-8")).hexdigest()
+
+
+@dataclasses.dataclass
+class StoreStats:
+    """Hit/miss/write accounting of one store instance."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    def as_dict(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "writes": self.writes}
+
+
+class ArtifactStore:
+    """Content-addressed JSON store with resume semantics.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the artifacts; created on first write.
+    refresh:
+        When true, every lookup misses (but writes still land), forcing a
+        recomputation that overwrites stale artifacts in place.
+    """
+
+    def __init__(self, root: str | os.PathLike[str], *, refresh: bool = False) -> None:
+        self.root = Path(root)
+        self.refresh = bool(refresh)
+        self.stats = StoreStats()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def path_for(self, kind: str, key: dict[str, Any]) -> Path:
+        """Where the artifact for ``key`` lives (whether or not it exists)."""
+        digest = key_digest(kind, key)
+        return self.root / kind / digest[:2] / f"{digest}.json"
+
+    def get(self, kind: str, key: dict[str, Any]) -> Any | None:
+        """Return the stored payload for ``key``, or ``None`` on a miss."""
+        path = self.path_for(kind, key)
+        if self.refresh or not path.is_file():
+            self._count(misses=1)
+            return None
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            # A truncated artifact (e.g. a hard kill mid-write on a
+            # filesystem without atomic rename) counts as absent.
+            self._count(misses=1)
+            return None
+        if record.get("schema") != SCHEMA_VERSION or record.get("kind") != kind:
+            self._count(misses=1)
+            return None
+        self._count(hits=1)
+        return record["payload"]
+
+    def put(self, kind: str, key: dict[str, Any], payload: Any) -> Path:
+        """Persist ``payload`` under ``key`` atomically and return its path."""
+        path = self.path_for(kind, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        record = {"schema": SCHEMA_VERSION, "kind": kind, "key": key, "payload": payload}
+        text = json.dumps(record, sort_keys=True, indent=1)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self._count(writes=1)
+        return path
+
+    def delete(self, kind: str, key: dict[str, Any]) -> bool:
+        """Remove the artifact for ``key``; returns whether it existed."""
+        path = self.path_for(kind, key)
+        try:
+            path.unlink()
+        except FileNotFoundError:
+            return False
+        return True
+
+    def count(self, kind: str | None = None) -> int:
+        """Number of stored artifacts (of one kind, or overall)."""
+        if not self.root.is_dir():
+            return 0
+        if kind is not None:
+            kinds = [kind]
+        else:
+            kinds = [e.name for e in self.root.iterdir() if e.is_dir() and e.name != "reports"]
+        total = 0
+        for name in kinds:
+            total += sum(1 for _ in (self.root / name).glob("*/*.json"))
+        return total
+
+    def report_dir(self, name: str) -> Path:
+        """Directory for rendered reports of the pipeline run ``name``."""
+        path = self.root / "reports" / name
+        path.mkdir(parents=True, exist_ok=True)
+        return path
+
+    def reset_stats(self) -> None:
+        with self._lock:
+            self.stats = StoreStats()
+
+    def describe_stats(self) -> str:
+        """One-line human summary, printed by the CLI after every run."""
+        stats = self.stats
+        return (
+            f"artifact store: {stats.hits} hits, {stats.misses} misses, "
+            f"{stats.writes} written (root: {self.root})"
+        )
+
+    # ------------------------------------------------------------------
+    def _count(self, *, hits: int = 0, misses: int = 0, writes: int = 0) -> None:
+        with self._lock:
+            self.stats.hits += hits
+            self.stats.misses += misses
+            self.stats.writes += writes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ArtifactStore(root={str(self.root)!r}, refresh={self.refresh})"

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.datasets.registry import get_dataset, get_dataset_collection
 from repro.evaluation.significance import paired_t_test
+from repro.experiments.artifacts import ArtifactStore
 from repro.experiments.config import ExperimentConfig, default_config
 from repro.experiments.runner import AlgorithmName, ScenarioName, TrialResult, run_trials
 from repro.utils.rng import RandomStateLike, check_random_state
@@ -41,6 +42,10 @@ class ComparisonRow:
     cvcp: list[float]
     expected: list[float]
     silhouette: list[float] = field(default_factory=list)
+    #: CVCP-selected parameter value per trial (MinPts or k), in trial
+    #: order — what the resumable pipeline compares across re-runs to
+    #: prove cached artifacts reproduce the original selections.
+    cvcp_values: list[int] = field(default_factory=list)
 
     @property
     def cvcp_mean(self) -> float:
@@ -119,6 +124,8 @@ def _trial_sets(
     amount: float,
     config: ExperimentConfig,
     rng: np.random.Generator,
+    store: ArtifactStore | None = None,
+    parallelize: str = "grid",
 ) -> list[TrialResult]:
     if name.lower() == "aloi":
         datasets = get_dataset_collection(
@@ -133,6 +140,7 @@ def _trial_sets(
             run_trials(
                 dataset, algorithm, scenario, amount, config.n_trials,
                 config=config, random_state=int(rng.integers(0, 2**31 - 1)),
+                store=store, parallelize=parallelize,
             )
         )
     return trials
@@ -148,6 +156,8 @@ def comparison_table(
     include_silhouette: bool | None = None,
     n_jobs: int | None = None,
     backend: str | None = None,
+    store: ArtifactStore | None = None,
+    parallelize: str = "grid",
 ) -> ComparisonTable:
     """Compute one comparison table.
 
@@ -156,7 +166,8 @@ def comparison_table(
     ``("mpck", "labels", ...)``; constraint scenario: Tables 11/12/13 are
     ``("fosc", "constraints", 0.10/0.20/0.50)`` and Tables 14/15/16 are
     ``("mpck", "constraints", ...)``.  ``n_jobs``/``backend`` override the
-    execution engine of ``config``.
+    execution engine of ``config``; with a ``store``, per-trial artifacts
+    are reused and written through (see :mod:`repro.experiments.artifacts`).
     """
     config = (config or default_config()).with_execution(backend=backend, n_jobs=n_jobs)
     rng = check_random_state(random_state if random_state is not None else config.seed)
@@ -165,7 +176,7 @@ def comparison_table(
 
     table = ComparisonTable(algorithm=algorithm, scenario=scenario, amount=amount)
     for name in config.datasets:
-        trials = _trial_sets(name, algorithm, scenario, amount, config, rng)
+        trials = _trial_sets(name, algorithm, scenario, amount, config, rng, store, parallelize)
         table.rows.append(
             ComparisonRow(
                 dataset=name,
@@ -175,6 +186,7 @@ def comparison_table(
                     [trial.silhouette_quality for trial in trials]
                     if include_silhouette else []
                 ),
+                cvcp_values=[trial.cvcp_value for trial in trials],
             )
         )
     return table
@@ -189,6 +201,8 @@ def aloi_distribution(
     include_silhouette: bool | None = None,
     n_jobs: int | None = None,
     backend: str | None = None,
+    store: ArtifactStore | None = None,
+    parallelize: str = "grid",
 ) -> dict[str, list[float]]:
     """Per-trial quality distributions on the ALOI collection (Figures 9–12).
 
@@ -208,7 +222,7 @@ def aloi_distribution(
 
     distribution: dict[str, list[float]] = {}
     for amount in amounts:
-        trials = _trial_sets("ALOI", algorithm, scenario, amount, config, rng)
+        trials = _trial_sets("ALOI", algorithm, scenario, amount, config, rng, store, parallelize)
         tag = int(round(amount * 100))
         distribution[f"CVCP-{tag}"] = [trial.cvcp_quality for trial in trials]
         distribution[f"Exp-{tag}"] = [trial.expected_quality for trial in trials]

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.datasets.registry import get_dataset, get_dataset_collection
+from repro.experiments.artifacts import ArtifactStore
 from repro.experiments.config import ExperimentConfig, default_config
 from repro.experiments.runner import AlgorithmName, ScenarioName, run_trials
 from repro.utils.rng import RandomStateLike, check_random_state
@@ -65,12 +66,15 @@ def correlation_table(
     random_state: RandomStateLike = None,
     n_jobs: int | None = None,
     backend: str | None = None,
+    store: ArtifactStore | None = None,
+    parallelize: str = "grid",
 ) -> CorrelationTable:
     """Compute the correlation table for one algorithm and one scenario.
 
     Table 1 = ``("fosc", "labels")``, Table 2 = ``("mpck", "labels")``,
     Table 3 = ``("fosc", "constraints")``, Table 4 = ``("mpck", "constraints")``.
-    ``n_jobs``/``backend`` override the execution engine of ``config``.
+    ``n_jobs``/``backend`` override the execution engine of ``config``; with
+    a ``store``, per-trial artifacts are reused and written through.
     """
     config = (config or default_config()).with_execution(backend=backend, n_jobs=n_jobs)
     rng = check_random_state(random_state if random_state is not None else config.seed)
@@ -94,6 +98,7 @@ def correlation_table(
                 trials = run_trials(
                     dataset, algorithm, scenario, amount, config.n_trials,
                     config=config, random_state=int(rng.integers(0, 2**31 - 1)),
+                    store=store, parallelize=parallelize,
                 )
                 correlations.extend(trial.correlation for trial in trials)
             table.values[amount][name] = float(np.mean(correlations))

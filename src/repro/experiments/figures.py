@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from repro.datasets.base import Dataset
 from repro.datasets.registry import get_dataset
+from repro.experiments.artifacts import ArtifactStore
 from repro.experiments.config import ExperimentConfig, default_config
 from repro.experiments.runner import AlgorithmName, ScenarioName, run_trial
 from repro.utils.rng import RandomStateLike, check_random_state
@@ -59,6 +60,7 @@ def parameter_curves(
     dataset: Dataset | None = None,
     config: ExperimentConfig | None = None,
     random_state: RandomStateLike = None,
+    store: ArtifactStore | None = None,
 ) -> ParameterCurves:
     """Compute the curves of one figure.
 
@@ -77,6 +79,7 @@ def parameter_curves(
     trial = run_trial(
         dataset, algorithm, scenario, amount,
         config=config, random_state=int(rng.integers(0, 2**31 - 1)),
+        store=store,
     )
     return ParameterCurves(
         algorithm=algorithm,

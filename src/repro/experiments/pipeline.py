@@ -1,0 +1,626 @@
+"""Declarative experiment pipelines: TOML/JSON specs driving the full stack.
+
+A *pipeline spec* is a small declarative config file (TOML or JSON) that
+names everything one batch experiment needs — the data sets, the algorithm
+and scenario, the amounts of side information, the CVCP/trial parameters,
+the execution engine and the artifact-store location:
+
+.. code-block:: toml
+
+    [experiment]
+    name = "quickstart-iris"
+    kind = "comparison"          # comparison|correlation|curves|trials|ablation
+    algorithm = "fosc"           # fosc|mpck
+    scenario = "labels"          # labels|constraints
+    amounts = [0.10]
+    datasets = ["Iris"]
+    seed = 20140324
+
+    [parameters]
+    n_trials = 2
+    n_folds = 3
+    minpts_range = [3, 6, 9]
+
+    [execution]
+    backend = "serial"           # serial|thread|process
+
+    [artifacts]
+    root = ".repro-artifacts"
+
+:func:`load_pipeline_spec` parses and validates a file (collecting *all*
+problems, not just the first), and :func:`run_pipeline` executes it through
+the artifact store: constraint generation, CVCP parameter selection, trials,
+significance testing and report emission.  Results are persisted per trial,
+so interrupting and re-invoking a pipeline resumes from the completed cells
+and a second identical invocation is served entirely from cache — with a
+byte-identical ``summary.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+try:
+    import tomllib
+except ModuleNotFoundError:  # Python 3.10: stdlib tomllib arrived in 3.11
+    try:
+        import tomli as tomllib  # type: ignore[no-redef]
+    except ModuleNotFoundError:
+        tomllib = None  # type: ignore[assignment]
+
+from repro.core.executor import BACKENDS
+from repro.datasets.registry import DATASET_NAMES, get_dataset
+from repro.experiments.ablation import (
+    closure_leakage_ablation,
+    fold_count_ablation,
+    scorer_ablation,
+)
+from repro.experiments.artifacts import ArtifactStore, trial_config_fingerprint
+from repro.experiments.comparison import comparison_table
+from repro.experiments.config import (
+    CONSTRAINT_FRACTIONS,
+    LABEL_FRACTIONS,
+    QUICK_CONFIG,
+    ExperimentConfig,
+)
+from repro.experiments.correlation import correlation_table
+from repro.experiments.figures import parameter_curves
+from repro.experiments.reporting import (
+    format_comparison_table,
+    format_correlation_table,
+    format_curves,
+    format_table,
+    render_report,
+    write_report,
+)
+from repro.experiments.runner import run_trials
+
+#: Experiment kinds a pipeline can run, mapped to the paper's artefacts.
+PIPELINE_KINDS: tuple[str, ...] = (
+    "comparison",
+    "correlation",
+    "curves",
+    "trials",
+    "ablation",
+)
+
+ALGORITHMS: tuple[str, ...] = ("fosc", "mpck")
+SCENARIOS: tuple[str, ...] = ("labels", "constraints")
+REPORT_FORMATS: tuple[str, ...] = ("txt", "json")
+
+#: Exception class for TOML syntax errors (an empty tuple when TOML
+#: support is unavailable, keeping ``except`` clauses valid).
+_TOML_DECODE_ERROR = tomllib.TOMLDecodeError if tomllib is not None else ()
+
+_NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+_PARAMETER_KEYS: tuple[str, ...] = (
+    "n_trials",
+    "n_folds",
+    "n_aloi_datasets",
+    "max_k",
+    "mpck_n_init",
+    "mpck_max_iter",
+    "minpts_range",
+)
+
+
+class ConfigError(ValueError):
+    """A pipeline spec failed validation; ``problems`` lists every issue."""
+
+    def __init__(self, source: str, problems: list[str]) -> None:
+        self.source = source
+        self.problems = list(problems)
+        details = "\n".join(f"  - {problem}" for problem in self.problems)
+        super().__init__(f"invalid pipeline config {source}:\n{details}")
+
+
+@dataclass
+class PipelineSpec:
+    """A validated pipeline description, ready for :func:`run_pipeline`."""
+
+    name: str
+    kind: str
+    algorithm: str
+    scenario: str
+    amounts: tuple[float, ...]
+    datasets: tuple[str, ...]
+    config: ExperimentConfig
+    artifacts_root: Path
+    report_formats: tuple[str, ...] = ("txt", "json")
+    parallelize: str = "grid"
+    source: Path | None = None
+
+    def with_overrides(self, **overrides) -> "PipelineSpec":
+        """Return a copy with the given fields replaced (CLI flag overrides)."""
+        return replace(self, **overrides)
+
+
+@dataclass
+class PipelineResult:
+    """Everything one pipeline run produced."""
+
+    spec: PipelineSpec
+    sections: list[tuple[str, str]]
+    summary: dict
+    report_text: str
+    report_paths: list[Path] = field(default_factory=list)
+    stats: dict = field(default_factory=dict)
+
+
+def _parse_file(path: Path) -> dict:
+    if path.suffix.lower() == ".toml":
+        if tomllib is None:
+            raise ConfigError(
+                str(path),
+                ["TOML configs need Python >= 3.11 or the 'tomli' package; use a .json config instead"],
+            )
+        with path.open("rb") as handle:
+            return tomllib.load(handle)
+    if path.suffix.lower() == ".json":
+        with path.open("r", encoding="utf-8") as handle:
+            loaded = json.load(handle)
+        if not isinstance(loaded, dict):
+            raise ConfigError(str(path), ["top level must be a JSON object"])
+        return loaded
+    raise ConfigError(str(path), [f"unsupported config extension {path.suffix!r} (use .toml or .json)"])
+
+
+def _check_enum(problems: list[str], table: str, key: str, value: object, allowed: tuple[str, ...]):
+    if not isinstance(value, str) or value not in allowed:
+        problems.append(f"{table}.{key}: must be one of {', '.join(allowed)}; got {value!r}")
+        return None
+    return value
+
+
+def _check_positive_int(problems: list[str], table: str, key: str, value: object) -> int | None:
+    if isinstance(value, bool) or not isinstance(value, int) or value < 1:
+        problems.append(f"{table}.{key}: must be a positive integer, got {value!r}")
+        return None
+    return value
+
+
+def validate_pipeline_mapping(raw: dict, source: str) -> tuple[PipelineSpec | None, list[str]]:
+    """Validate a parsed config mapping; returns ``(spec, problems)``.
+
+    On any problem the spec is ``None`` and ``problems`` holds one message
+    per issue found (unknown tables/keys, wrong types, out-of-range values,
+    unknown data sets, ...).
+    """
+    problems: list[str] = []
+
+    known_tables = ("experiment", "parameters", "execution", "artifacts", "report")
+    for table in raw:
+        if table not in known_tables:
+            problems.append(f"unknown table [{table}] (expected one of {', '.join(known_tables)})")
+    for table in known_tables:
+        if table in raw and not isinstance(raw[table], dict):
+            problems.append(f"[{table}] must be a table/object, got {type(raw[table]).__name__}")
+
+    experiment = raw.get("experiment")
+    if not isinstance(experiment, dict):
+        problems.append("missing required [experiment] table")
+        experiment = {}
+
+    known_experiment_keys = ("name", "kind", "algorithm", "scenario", "amounts", "datasets", "seed")
+    for key in experiment:
+        if key not in known_experiment_keys:
+            problems.append(f"experiment.{key}: unknown key")
+
+    name = experiment.get("name")
+    if not isinstance(name, str) or not _NAME_PATTERN.match(name):
+        problems.append(
+            "experiment.name: required; must be letters/digits/._- "
+            f"(used as the report directory name), got {name!r}"
+        )
+        name = None
+
+    kind = _check_enum(problems, "experiment", "kind", experiment.get("kind", None), PIPELINE_KINDS)
+    algorithm = _check_enum(
+        problems, "experiment", "algorithm", experiment.get("algorithm", "fosc"), ALGORITHMS
+    )
+    scenario = _check_enum(
+        problems, "experiment", "scenario", experiment.get("scenario", "labels"), SCENARIOS
+    )
+    if kind == "ablation" and "scenario" in experiment:
+        # Each ablation fixes its own scenario (closure-leakage is inherently
+        # constraint-based; fold-count and scorer are label-based), so an
+        # explicit setting would be silently misleading.
+        problems.append(
+            'experiment.scenario: not configurable for kind="ablation" — each ablation'
+            " fixes its own scenario; remove the key"
+        )
+
+    seed = experiment.get("seed", 20140324)
+    if isinstance(seed, bool) or not isinstance(seed, int) or seed < 0:
+        problems.append(f"experiment.seed: must be a non-negative integer, got {seed!r}")
+        seed = 0
+
+    default_amounts = LABEL_FRACTIONS if scenario == "labels" else CONSTRAINT_FRACTIONS
+    amounts_raw = experiment.get("amounts", list(default_amounts))
+    amounts: list[float] = []
+    if not isinstance(amounts_raw, list) or not amounts_raw:
+        problems.append(f"experiment.amounts: must be a non-empty list of fractions, got {amounts_raw!r}")
+    else:
+        for value in amounts_raw:
+            if isinstance(value, bool) or not isinstance(value, (int, float)) or not 0 < value <= 1:
+                problems.append(f"experiment.amounts: each amount must be in (0, 1], got {value!r}")
+            else:
+                amounts.append(float(value))
+
+    canonical_by_lower = {known.lower(): known for known in DATASET_NAMES}
+    datasets_raw = experiment.get("datasets", ["Iris"])
+    datasets: list[str] = []
+    if not isinstance(datasets_raw, list) or not datasets_raw:
+        problems.append(f"experiment.datasets: must be a non-empty list of names, got {datasets_raw!r}")
+    else:
+        for value in datasets_raw:
+            if not isinstance(value, str) or value.lower() not in canonical_by_lower:
+                problems.append(
+                    f"experiment.datasets: unknown data set {value!r} "
+                    f"(available: {', '.join(DATASET_NAMES)})"
+                )
+            elif canonical_by_lower[value.lower()] in datasets:
+                problems.append(f"experiment.datasets: duplicate data set {value!r}")
+            else:
+                datasets.append(canonical_by_lower[value.lower()])
+
+    parameters = raw.get("parameters", {})
+    overrides: dict[str, object] = {}
+    if isinstance(parameters, dict):
+        for key in parameters:
+            if key not in _PARAMETER_KEYS:
+                problems.append(f"parameters.{key}: unknown key (expected {', '.join(_PARAMETER_KEYS)})")
+        for key in _PARAMETER_KEYS:
+            if key not in parameters:
+                continue
+            value = parameters[key]
+            if key == "minpts_range":
+                ok = (
+                    isinstance(value, list)
+                    and value != []
+                    and all(isinstance(v, int) and not isinstance(v, bool) and v > 0 for v in value)
+                )
+                if not ok:
+                    problems.append(
+                        f"parameters.minpts_range: must be a non-empty list of positive"
+                        f" integers, got {value!r}"
+                    )
+                else:
+                    overrides["minpts_range"] = tuple(value)
+            else:
+                checked = _check_positive_int(problems, "parameters", key, value)
+                if checked is not None:
+                    overrides[key] = checked
+
+    execution = raw.get("execution", {})
+    backend = "serial"
+    n_jobs: int | None = None
+    parallelize = "grid"
+    if isinstance(execution, dict):
+        for key in execution:
+            if key not in ("backend", "n_jobs", "parallelize"):
+                problems.append(f"execution.{key}: unknown key (expected backend, n_jobs, parallelize)")
+        if "backend" in execution:
+            checked = _check_enum(problems, "execution", "backend", execution["backend"], BACKENDS)
+            backend = checked or backend
+        if "n_jobs" in execution:
+            value = execution["n_jobs"]
+            if isinstance(value, bool) or not isinstance(value, int):
+                problems.append(f"execution.n_jobs: must be an integer, got {value!r}")
+            else:
+                n_jobs = value
+        if "parallelize" in execution:
+            checked = _check_enum(
+                problems, "execution", "parallelize", execution["parallelize"], ("grid", "trials")
+            )
+            parallelize = checked or parallelize
+            if kind in ("curves", "ablation"):
+                problems.append(
+                    f"execution.parallelize: has no effect for kind={kind!r} "
+                    "(single-trial work); remove the key"
+                )
+
+    artifacts = raw.get("artifacts", {})
+    artifacts_root = ".repro-artifacts"
+    if isinstance(artifacts, dict):
+        for key in artifacts:
+            if key != "root":
+                problems.append(f"artifacts.{key}: unknown key (expected root)")
+        if "root" in artifacts:
+            value = artifacts["root"]
+            if not isinstance(value, str) or not value:
+                problems.append(f"artifacts.root: must be a non-empty path string, got {value!r}")
+            else:
+                artifacts_root = value
+
+    report = raw.get("report", {})
+    report_formats: tuple[str, ...] = REPORT_FORMATS
+    if isinstance(report, dict):
+        for key in report:
+            if key != "formats":
+                problems.append(f"report.{key}: unknown key (expected formats)")
+        if "formats" in report:
+            value = report["formats"]
+            ok = (
+                isinstance(value, list)
+                and value != []
+                and all(isinstance(v, str) and v in REPORT_FORMATS for v in value)
+            )
+            if not ok:
+                problems.append(
+                    f"report.formats: must be a non-empty list drawn from"
+                    f" {', '.join(REPORT_FORMATS)}, got {value!r}"
+                )
+            else:
+                report_formats = tuple(value)
+
+    if problems:
+        return None, problems
+
+    # Unspecified [parameters] fall back to the repo-wide quick profile —
+    # a minimal config must cost seconds, not paper-scale hours; paper
+    # scale is an explicit opt-in (see examples/paper_comparison_full.toml).
+    config = QUICK_CONFIG.with_overrides(seed=seed, datasets=tuple(datasets), **overrides)
+    if scenario == "labels":
+        config = config.with_overrides(label_fractions=tuple(amounts))
+    else:
+        config = config.with_overrides(constraint_fractions=tuple(amounts))
+    config = config.with_execution(backend=backend, n_jobs=n_jobs)
+
+    spec = PipelineSpec(
+        name=name,
+        kind=kind,
+        algorithm=algorithm,
+        scenario=scenario,
+        amounts=tuple(amounts),
+        datasets=tuple(datasets),
+        config=config,
+        artifacts_root=Path(artifacts_root),
+        report_formats=report_formats,
+        parallelize=parallelize,
+        source=None,
+    )
+    return spec, []
+
+
+def load_pipeline_spec(path: str | Path) -> PipelineSpec:
+    """Parse and validate a TOML/JSON pipeline config file.
+
+    Raises :class:`ConfigError` (listing every problem) on invalid input,
+    ``OSError`` when the file cannot be read.
+    """
+    path = Path(path)
+    try:
+        raw = _parse_file(path)
+    except _TOML_DECODE_ERROR as exc:
+        raise ConfigError(str(path), [f"TOML parse error: {exc}"]) from exc
+    except json.JSONDecodeError as exc:
+        raise ConfigError(str(path), [f"JSON parse error: {exc}"]) from exc
+    except UnicodeDecodeError as exc:
+        # Raised by both parsers for bytes that are not valid UTF-8 and is
+        # not a JSONDecodeError/TOMLDecodeError subclass.
+        raise ConfigError(str(path), [f"config is not valid UTF-8: {exc}"]) from exc
+    spec, problems = validate_pipeline_mapping(raw, str(path))
+    if spec is None:
+        raise ConfigError(str(path), problems)
+    return spec.with_overrides(source=path)
+
+
+def validate_pipeline_file(path: str | Path) -> list[str]:
+    """All validation problems of a config file (empty list = valid)."""
+    try:
+        load_pipeline_spec(path)
+    except ConfigError as exc:
+        return exc.problems
+    except OSError as exc:
+        return [f"cannot read config: {exc}"]
+    return []
+
+
+def _format_amount(amount: float) -> str:
+    return f"{amount:g}"
+
+
+def _comparison_summary_row(row) -> dict:
+    summary = {
+        "cvcp_mean": row.cvcp_mean,
+        "cvcp_std": row.cvcp_std,
+        "expected_mean": row.expected_mean,
+        "expected_std": row.expected_std,
+        "winner": row.winner,
+        "winner_significant": row.winner_significant,
+        "cvcp_values": list(row.cvcp_values),
+    }
+    if row.silhouette:
+        summary["silhouette_mean"] = row.silhouette_mean
+        summary["silhouette_std"] = row.silhouette_std
+    return summary
+
+
+def _run_comparison(spec: PipelineSpec, store: ArtifactStore) -> tuple[list[tuple[str, str]], dict]:
+    sections: list[tuple[str, str]] = []
+    results: dict = {}
+    for amount in spec.amounts:
+        table = comparison_table(
+            spec.algorithm,
+            spec.scenario,
+            amount,
+            config=spec.config,
+            store=store,
+            parallelize=spec.parallelize,
+        )
+        heading = f"Comparison, {int(round(amount * 100))}% side information"
+        sections.append((heading, format_comparison_table(table)))
+        results[_format_amount(amount)] = {
+            row.dataset: _comparison_summary_row(row) for row in table.rows
+        }
+    return sections, results
+
+
+def _run_correlation(spec: PipelineSpec, store: ArtifactStore) -> tuple[list[tuple[str, str]], dict]:
+    table = correlation_table(
+        spec.algorithm,
+        spec.scenario,
+        config=spec.config,
+        store=store,
+        parallelize=spec.parallelize,
+    )
+    sections = [("Internal/external correlation", format_correlation_table(table))]
+    results = {
+        _format_amount(amount): {name: table.values[amount][name] for name in table.datasets}
+        for amount in table.amounts
+    }
+    return sections, results
+
+
+def _run_curves(spec: PipelineSpec, store: ArtifactStore) -> tuple[list[tuple[str, str]], dict]:
+    sections: list[tuple[str, str]] = []
+    results: dict = {}
+    for name in spec.datasets:
+        dataset = get_dataset(name, random_state=spec.config.seed)
+        per_amount: dict = {}
+        for amount in spec.amounts:
+            curves = parameter_curves(
+                spec.algorithm,
+                spec.scenario,
+                amount=amount,
+                dataset=dataset,
+                config=spec.config,
+                store=store,
+            )
+            heading = f"Curves, {name}, {int(round(amount * 100))}% side information"
+            sections.append((heading, format_curves(curves)))
+            per_amount[_format_amount(amount)] = {
+                "parameter_name": curves.parameter_name,
+                "parameter_values": list(curves.parameter_values),
+                "internal_scores": list(curves.internal_scores),
+                "external_scores": list(curves.external_scores),
+                "correlation": curves.correlation,
+            }
+        results[name] = per_amount
+    return sections, results
+
+
+def _run_trials_kind(spec: PipelineSpec, store: ArtifactStore) -> tuple[list[tuple[str, str]], dict]:
+    sections: list[tuple[str, str]] = []
+    results: dict = {}
+    headers = ["trial", "cvcp_value", "cvcp_quality", "expected_quality", "correlation"]
+    for name in spec.datasets:
+        dataset = get_dataset(name, random_state=spec.config.seed)
+        per_amount: dict = {}
+        for amount in spec.amounts:
+            trials = run_trials(
+                dataset,
+                spec.algorithm,
+                spec.scenario,
+                amount,
+                spec.config.n_trials,
+                config=spec.config,
+                random_state=spec.config.seed,
+                parallelize=spec.parallelize,
+                store=store,
+            )
+            rows = [
+                [index, trial.cvcp_value, trial.cvcp_quality, trial.expected_quality, trial.correlation]
+                for index, trial in enumerate(trials)
+            ]
+            heading = f"Trials, {name}, {int(round(amount * 100))}% side information"
+            sections.append((heading, format_table(headers, rows)))
+            per_amount[_format_amount(amount)] = [trial.to_dict() for trial in trials]
+        results[name] = per_amount
+    return sections, results
+
+
+def _run_ablation(spec: PipelineSpec, store: ArtifactStore) -> tuple[list[tuple[str, str]], dict]:
+    sections: list[tuple[str, str]] = []
+    results: dict = {}
+    for name in spec.datasets:
+        dataset = get_dataset(name, random_state=spec.config.seed)
+        per_amount: dict = {}
+        for amount in spec.amounts:
+            ablations = [
+                closure_leakage_ablation(
+                    dataset, algorithm=spec.algorithm, amount=amount, config=spec.config, store=store
+                ),
+                fold_count_ablation(
+                    dataset, algorithm=spec.algorithm, amount=amount, config=spec.config, store=store
+                ),
+                scorer_ablation(
+                    dataset, algorithm=spec.algorithm, amount=amount, config=spec.config, store=store
+                ),
+            ]
+            tag = f"{name}, {int(round(amount * 100))}% side information"
+            per_amount[_format_amount(amount)] = {
+                ablation.name: dict(ablation.measurements) for ablation in ablations
+            }
+            for ablation in ablations:
+                heading = f"Ablation: {ablation.name} ({tag})"
+                sections.append((heading, format_table(["measurement", "value"], ablation.as_rows())))
+        results[name] = per_amount
+    return sections, results
+
+
+_KIND_RUNNERS = {
+    "comparison": _run_comparison,
+    "correlation": _run_correlation,
+    "curves": _run_curves,
+    "trials": _run_trials_kind,
+    "ablation": _run_ablation,
+}
+
+
+def run_pipeline(
+    spec: PipelineSpec,
+    *,
+    store: ArtifactStore | None = None,
+    backend: str | None = None,
+    n_jobs: int | None = None,
+    write_reports: bool = True,
+) -> PipelineResult:
+    """Execute a pipeline spec through the artifact store.
+
+    ``backend``/``n_jobs`` override the spec's execution engine (results
+    are bit-identical across backends, so overriding never invalidates
+    cached artifacts).  With ``write_reports`` the rendered report and the
+    deterministic ``summary.json`` are persisted under
+    ``<artifacts root>/reports/<name>/``.
+    """
+    if backend is not None or n_jobs is not None:
+        spec = spec.with_overrides(config=spec.config.with_execution(backend=backend, n_jobs=n_jobs))
+    if store is None:
+        store = ArtifactStore(spec.artifacts_root)
+    store.reset_stats()
+
+    sections, results = _KIND_RUNNERS[spec.kind](spec, store)
+
+    summary = {
+        "name": spec.name,
+        "kind": spec.kind,
+        "algorithm": spec.algorithm,
+        "scenario": spec.scenario,
+        "seed": spec.config.seed,
+        "amounts": [float(amount) for amount in spec.amounts],
+        "datasets": list(spec.datasets),
+        "config_fingerprint": trial_config_fingerprint(spec.config),
+        "results": results,
+    }
+    title = f"{spec.name} — {spec.kind} pipeline ({spec.algorithm}, {spec.scenario} scenario)"
+    report_text = render_report(title, sections)
+
+    report_paths: list[Path] = []
+    if write_reports:
+        report_paths = write_report(
+            store, spec.name, report_text, summary, formats=spec.report_formats
+        )
+    return PipelineResult(
+        spec=spec,
+        sections=sections,
+        summary=summary,
+        report_text=report_text,
+        report_paths=report_paths,
+        stats=store.stats.as_dict(),
+    )

@@ -1,16 +1,21 @@
-"""Plain-text rendering of experiment results.
+"""Plain-text rendering and artifact-store emission of experiment results.
 
 The benchmark harness prints the regenerated tables/figures with these
 helpers so the output can be compared side by side with the paper (see
-EXPERIMENTS.md).
+EXPERIMENTS.md); the pipeline CLI additionally persists rendered reports
+and machine-readable summaries through the artifact store
+(:func:`render_report` / :func:`write_report`).
 """
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
 from typing import Sequence
 
 import numpy as np
 
+from repro.experiments.artifacts import ArtifactStore
 from repro.experiments.comparison import ComparisonTable
 from repro.experiments.correlation import CorrelationTable
 from repro.experiments.figures import ParameterCurves
@@ -114,3 +119,49 @@ def format_boxplot_summary(distribution: dict[str, list[float]], *, title: str |
             float(array.mean()),
         ])
     return format_table(headers, rows, title=title or "Quality distributions on the ALOI collection")
+
+
+def render_report(title: str, sections: Sequence[tuple[str, str]]) -> str:
+    """Join rendered sections into one report document.
+
+    ``sections`` is a list of ``(heading, body)`` pairs, typically the
+    output of the ``format_*`` helpers above.
+    """
+    lines = [title, "=" * len(title), ""]
+    for heading, body in sections:
+        lines.append(heading)
+        lines.append("-" * len(heading))
+        lines.append(body)
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def write_report(
+    store: ArtifactStore,
+    name: str,
+    text: str,
+    summary: dict,
+    *,
+    formats: Sequence[str] = ("txt", "json"),
+) -> list[Path]:
+    """Persist a rendered report through the artifact store.
+
+    Writes ``report.txt`` (the human-readable document) and/or
+    ``summary.json`` (a deterministic machine-readable summary: sorted
+    keys, no timestamps — re-running an identical pipeline produces a
+    byte-identical file, which is how resume correctness is asserted)
+    into ``<store root>/reports/<name>/``.
+    """
+    paths: list[Path] = []
+    directory = store.report_dir(name)
+    for fmt in formats:
+        if fmt == "txt":
+            path = directory / "report.txt"
+            path.write_text(text, encoding="utf-8")
+        elif fmt == "json":
+            path = directory / "summary.json"
+            path.write_text(json.dumps(summary, sort_keys=True, indent=2) + "\n", encoding="utf-8")
+        else:
+            raise ValueError(f"unknown report format {fmt!r}; expected 'txt' or 'json'")
+        paths.append(path)
+    return paths

@@ -18,7 +18,7 @@ constraints) and an amount of side information, then
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Literal, Sequence
 
 import numpy as np
@@ -39,8 +39,13 @@ from repro.core.model_selection import expected_quality
 from repro.datasets.base import Dataset
 from repro.evaluation.external import overall_f_measure
 from repro.evaluation.internal import silhouette_score
+from repro.experiments.artifacts import (
+    ArtifactStore,
+    dataset_fingerprint,
+    trial_config_fingerprint,
+)
 from repro.experiments.config import ExperimentConfig, default_config, k_range_for_dataset
-from repro.utils.rng import RandomStateLike, check_random_state, spawn_rng
+from repro.utils.rng import RandomStateLike, check_random_state, spawn_seeds
 
 AlgorithmName = Literal["fosc", "mpck"]
 ScenarioName = Literal["labels", "constraints"]
@@ -107,6 +112,28 @@ class TrialResult:
     silhouette_quality: float
     correlation: float
 
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (exact float round-trip; see artifacts)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TrialResult":
+        """Rebuild a result from :meth:`to_dict` output (or a JSON load)."""
+        return cls(
+            algorithm=payload["algorithm"],
+            scenario=payload["scenario"],
+            amount=float(payload["amount"]),
+            parameter_values=[int(v) for v in payload["parameter_values"]],
+            internal_scores=[float(v) for v in payload["internal_scores"]],
+            external_scores=[float(v) for v in payload["external_scores"]],
+            cvcp_value=int(payload["cvcp_value"]),
+            cvcp_quality=float(payload["cvcp_quality"]),
+            expected_quality=float(payload["expected_quality"]),
+            silhouette_value=int(payload["silhouette_value"]),
+            silhouette_quality=float(payload["silhouette_quality"]),
+            correlation=float(payload["correlation"]),
+        )
+
 
 def make_side_information(
     dataset: Dataset,
@@ -161,6 +188,73 @@ def parameter_values_for(
     return k_range_for_dataset(dataset, max_k=config.max_k)
 
 
+def trial_artifact_key(
+    config: ExperimentConfig,
+    dataset: Dataset,
+    algorithm: AlgorithmName,
+    scenario: ScenarioName,
+    amount: float,
+    trial_seed: int,
+) -> dict:
+    """Artifact-store key of one trial.
+
+    The key pins everything the trial's result depends on: the
+    trial-relevant config fields, the data-set content, the algorithm, the
+    scenario/amount of side information, and the trial seed from which
+    every ``(value_index, fold)`` grid cell inside the trial derives.
+    """
+    return {
+        "config": trial_config_fingerprint(config),
+        "dataset": dataset_fingerprint(dataset),
+        "algorithm": str(algorithm),
+        "scenario": str(scenario),
+        "amount": float(amount),
+        "trial_seed": int(trial_seed),
+    }
+
+
+def _load_cached_trial(
+    store: ArtifactStore,
+    key: dict,
+    dataset: Dataset,
+    algorithm: AlgorithmName,
+    config: ExperimentConfig,
+) -> "TrialResult | None":
+    """Fetch a persisted trial; on a hit, also sweep any orphaned cells.
+
+    A kill between a trial's put and its compaction can leave interim cell
+    artifacts behind — the hit path self-heals the store.
+    """
+    cached = store.get("trial", key)
+    if cached is None:
+        return None
+    # One stat call decides whether a sweep is needed: the compaction order
+    # guarantees the external(0) cell is deleted last, so its survival is a
+    # reliable sentinel for a compaction interrupted mid-sweep.
+    sentinel = store.path_for("cell", dict(key, phase="external", value_index=0))
+    if sentinel.is_file():
+        n_values = len(parameter_values_for(algorithm, dataset, config))
+        _compact_trial_cells(store, key, n_values, config.n_folds)
+    return TrialResult.from_dict(cached)
+
+
+def _store_trial(
+    store: ArtifactStore,
+    key: dict,
+    result: "TrialResult",
+    n_values: int,
+    n_folds: int,
+) -> None:
+    """Persist a completed trial and compact its interim cell artifacts.
+
+    The sweep uses the configured fold cap, not the realised fold count:
+    an earlier interrupted attempt may have persisted cells for folds the
+    completing run did not materialise.
+    """
+    store.put("trial", key, result.to_dict())
+    _compact_trial_cells(store, key, n_values, n_folds)
+
+
 def run_trial(
     dataset: Dataset,
     algorithm: AlgorithmName,
@@ -171,13 +265,31 @@ def run_trial(
     random_state: RandomStateLike = None,
     n_jobs: int | None = None,
     backend: str | None = None,
+    store: ArtifactStore | None = None,
 ) -> TrialResult:
     """Run one full trial (see the module docstring).
 
     ``n_jobs``/``backend`` override the execution engine of
-    ``config`` for the CVCP grid inside this trial.
+    ``config`` for the CVCP grid inside this trial.  With a ``store`` and
+    an *integer* ``random_state`` (the seed doubles as the artifact key),
+    a previously persisted result is returned without recomputation and a
+    fresh result is written through; a generator ``random_state`` cannot
+    be keyed, so it always computes.
+
+    While a keyed trial is in flight, every finished ``(value_index, fold)``
+    CVCP grid cell and every per-value external fit is persisted as its own
+    ``cell`` artifact, so an interrupted trial resumes mid-grid.  Once the
+    trial completes, its result is written as one ``trial`` artifact and
+    the interim cells are compacted away.
     """
     config = (config or default_config()).with_execution(backend=backend, n_jobs=n_jobs)
+    key: dict | None = None
+    if store is not None and isinstance(random_state, (int, np.integer)):
+        key = trial_artifact_key(config, dataset, algorithm, scenario, amount, int(random_state))
+        cached = _load_cached_trial(store, key, dataset, algorithm, config)
+        if cached is not None:
+            return cached
+    cell_store = store if key is not None else None
     rng = check_random_state(random_state)
 
     side = make_side_information(dataset, scenario, amount, random_state=rng)
@@ -194,6 +306,8 @@ def run_trial(
         random_state=rng,
         n_jobs=config.n_jobs,
         backend=config.backend,
+        artifact_store=cell_store,
+        artifact_scope=key,
     )
     if scenario == "labels":
         search.fit(dataset.X, labeled_objects=side.labeled_objects)
@@ -202,24 +316,37 @@ def run_trial(
     internal_scores = [evaluation.mean_score for evaluation in search.cv_results_.evaluations]
 
     # External quality of every parameter value with all side information.
+    # The seed draw happens for every value regardless of cache hits, so the
+    # generator stream (and with it later values' models) stays identical.
     training = side.training_constraints()
     exclude = side.involved_objects
     external_scores: list[float] = []
     silhouettes: list[float] = []
-    for value in values:
+    for value_index, value in enumerate(values):
         model = estimator.clone(**{estimator.tuned_parameter: value})
         if "random_state" in model.get_params():
             model.set_params(random_state=int(rng.integers(0, 2**31 - 1)))
+        cell_key = None
+        if cell_store is not None:
+            cell_key = dict(key, phase="external", value_index=value_index)
+            cached_cell = cell_store.get("cell", cell_key)
+            if cached_cell is not None:
+                external_scores.append(float(cached_cell["external"]))
+                silhouettes.append(float(cached_cell["silhouette"]))
+                continue
         model.fit(dataset.X, constraints=training)
         external_scores.append(
             overall_f_measure(dataset.y, model.labels_, exclude=exclude)
         )
         silhouettes.append(silhouette_score(dataset.X, model.labels_))
+        if cell_store is not None:
+            payload = {"external": external_scores[-1], "silhouette": silhouettes[-1]}
+            cell_store.put("cell", cell_key, payload)
 
     cvcp_index = int(np.argmax(internal_scores))
     silhouette_index = int(np.argmax(silhouettes))
 
-    return TrialResult(
+    result = TrialResult(
         algorithm=algorithm,
         scenario=scenario,
         amount=amount,
@@ -233,14 +360,36 @@ def run_trial(
         silhouette_quality=float(external_scores[silhouette_index]),
         correlation=_pearson(internal_scores, external_scores),
     )
+    if store is not None and key is not None:
+        _store_trial(store, key, result, len(values), config.n_folds)
+    return result
+
+
+def _compact_trial_cells(store: ArtifactStore, key: dict, n_values: int, n_folds: int) -> None:
+    """Drop the interim per-cell artifacts of a completed trial.
+
+    The trial artifact now carries everything; keeping 10s of cell files
+    per trial around would bloat paper-scale stores (50 trials × 6 data
+    sets × 3 amounts × ~80 grid cells) for no resume benefit.
+
+    Deletion runs from the highest coordinates down to ``external(0)`` so
+    that cell — which every completed trial wrote — survives any partial
+    sweep, making it the sentinel :func:`_load_cached_trial` probes.
+    """
+    for value_index in reversed(range(n_values)):
+        for fold_index in reversed(range(n_folds)):
+            store.delete("cell", dict(key, phase="grid", value_index=value_index, fold=fold_index))
+        store.delete("cell", dict(key, phase="external", value_index=value_index))
 
 
 @dataclass
 class _TrialTask:
     """Payload of one trial submitted through the execution engine.
 
-    Must stay picklable for the process backend; the child generator is
-    derived up-front, so trials are order-independent.
+    Must stay picklable for the process backend; the child seed is derived
+    up-front, so trials are order-independent.  The artifact store is *not*
+    shipped with the task — cache lookups and writes happen in the
+    submitting process, so worker processes never contend for the store.
     """
 
     dataset: Dataset
@@ -248,7 +397,7 @@ class _TrialTask:
     scenario: ScenarioName
     amount: float
     config: ExperimentConfig
-    random_state: np.random.Generator
+    random_state: int
 
 
 def _run_trial_task(task: _TrialTask) -> TrialResult:
@@ -270,6 +419,7 @@ def run_trials(
     n_jobs: int | None = None,
     backend: str | None = None,
     parallelize: Literal["grid", "trials"] = "grid",
+    store: ArtifactStore | None = None,
 ) -> list[TrialResult]:
     """Run ``n_trials`` independent trials, each with its own side information.
 
@@ -282,7 +432,10 @@ def run_trials(
       per-task overhead better when trials are plentiful.
 
     Both placements return bit-identical results for a fixed seed: every
-    trial's generator is derived up-front and results keep trial order.
+    trial's seed is derived up-front and results keep trial order.  With a
+    ``store``, trials whose artifact already exists are loaded instead of
+    recomputed (and freshly computed trials are written through), so an
+    interrupted or re-run grid resumes where it left off.
     """
     if parallelize not in ("grid", "trials"):
         raise ValueError(
@@ -290,17 +443,56 @@ def run_trials(
         )
     config = (config or default_config()).with_execution(backend=backend, n_jobs=n_jobs)
     rng = check_random_state(random_state)
-    children = spawn_rng(rng, n_trials)
+    seeds = spawn_seeds(rng, n_trials)
+
     if parallelize == "trials" and config.backend != "serial":
+        # Whole trials travel through the pool, so artifact handling stays
+        # in the submitting process: completed trials are looked up here,
+        # missing ones computed by workers (without per-cell persistence,
+        # which would contend across processes) and written back here.
+        results: list[TrialResult | None] = [None] * n_trials
+        pending: list[tuple[int, dict | None]] = []
+        for index, seed in enumerate(seeds):
+            cached = None
+            key = None
+            if store is not None:
+                key = trial_artifact_key(config, dataset, algorithm, scenario, amount, seed)
+                cached = _load_cached_trial(store, key, dataset, algorithm, config)
+            if cached is not None:
+                results[index] = cached
+            else:
+                pending.append((index, key))
         inner = config.with_overrides(backend="serial")
         tasks = [
-            _TrialTask(dataset, algorithm, scenario, amount, inner, child)
-            for child in children
+            _TrialTask(dataset, algorithm, scenario, amount, inner, seeds[index])
+            for index, _ in pending
         ]
-        return get_executor(config.backend, config.n_jobs).run(_run_trial_task, tasks)
+        persist_trial = None
+        if store is not None:
+            n_values = len(parameter_values_for(algorithm, dataset, config))
+
+            def persist_trial(position: int, result: TrialResult) -> None:
+                # Runs in the submitting process as each trial completes, so
+                # an interrupted batch keeps its finished trials on disk.
+                key = pending[position][1]
+                if key is not None:
+                    _store_trial(store, key, result, n_values, config.n_folds)
+
+        computed = get_executor(config.backend, config.n_jobs).run(
+            _run_trial_task, tasks, on_result=persist_trial
+        )
+        for (index, _), result in zip(pending, computed):
+            results[index] = result
+        return [result for result in results if result is not None]
+
+    # Grid-level placement: ``run_trial`` owns the store interaction, which
+    # also persists in-flight (value_index, fold) cells for mid-trial resume.
     return [
-        run_trial(dataset, algorithm, scenario, amount, config=config, random_state=child)
-        for child in children
+        run_trial(
+            dataset, algorithm, scenario, amount,
+            config=config, random_state=seed, store=store,
+        )
+        for seed in seeds
     ]
 
 

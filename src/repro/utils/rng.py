@@ -34,11 +34,22 @@ def check_random_state(random_state: RandomStateLike) -> np.random.Generator:
     )
 
 
+def spawn_seeds(rng: np.random.Generator, n: int) -> list[int]:
+    """Derive ``n`` independent child seeds from ``rng``.
+
+    The experiment drivers persist per-trial artifacts keyed by these seeds
+    (see :mod:`repro.experiments.artifacts`); drawing plain integers rather
+    than generators keeps the keys serialisable while
+    ``np.random.default_rng(seed)`` reproduces the exact child stream.
+    """
+    seeds = rng.integers(0, 2**63 - 1, size=n, dtype=np.int64)
+    return [int(seed) for seed in seeds]
+
+
 def spawn_rng(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
     """Derive ``n`` independent child generators from ``rng``.
 
     Used by experiment drivers to give every trial its own stream while
     keeping the whole experiment reproducible from a single seed.
     """
-    seeds = rng.integers(0, 2**63 - 1, size=n, dtype=np.int64)
-    return [np.random.default_rng(int(seed)) for seed in seeds]
+    return [np.random.default_rng(seed) for seed in spawn_seeds(rng, n)]

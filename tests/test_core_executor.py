@@ -67,6 +67,29 @@ class TestExecutorBasics:
         # n_jobs=1 must not pay pool overhead but still honour the contract.
         assert ThreadExecutor(1).run(_square, [1, 2, 3]) == [1, 4, 9]
 
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_on_result_delivers_every_completion(self, backend):
+        received = {}
+        tasks = list(range(6))
+        results = get_executor(backend, 2).run(
+            _square, tasks, on_result=lambda index, result: received.__setitem__(index, result)
+        )
+        assert results == [task * task for task in tasks]
+        assert received == {task: task * task for task in tasks}
+
+    def test_on_result_sees_completions_before_a_later_failure(self):
+        # Serial semantics: deliveries happen per task, so results finished
+        # before an exception have already been handed over — the property
+        # per-cell artifact persistence relies on.
+        received = {}
+        with pytest.raises(RuntimeError, match="failed"):
+            SerialExecutor().run(
+                lambda task: _explode(task) if task == 2 else _square(task),
+                [0, 1, 2, 3],
+                on_result=lambda index, result: received.__setitem__(index, result),
+            )
+        assert received == {0: 0, 1: 1}
+
 
 class TestSeedDerivation:
     def test_deterministic(self):
