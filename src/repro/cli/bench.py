@@ -203,6 +203,7 @@ def compare_records(
 
 
 def load_json(path: str | Path) -> dict:
+    """Load a benchmark record (CLI or pytest-benchmark JSON) from disk."""
     with Path(path).open("r", encoding="utf-8") as handle:
         return json.load(handle)
 

@@ -8,6 +8,8 @@ import os
 import sys
 from pathlib import Path
 
+import numpy as np
+
 from repro.cli import bench as bench_module
 from repro.core.executor import BACKENDS
 from repro.datasets.registry import DATASET_NAMES, get_dataset
@@ -22,6 +24,7 @@ from repro.experiments.reporting import format_table
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Build the ``repro`` argument parser with all five subcommands."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
@@ -219,9 +222,22 @@ def _command_datasets_list() -> int:
     rows = []
     for name in DATASET_NAMES:
         dataset = get_dataset(name, random_state=0)
+        counts = np.unique(dataset.y, return_counts=True)[1]
+        class_sizes = "/".join(str(int(count)) for count in counts)
+        spread = f"{dataset.X.std(axis=0).min():.2f}..{dataset.X.std(axis=0).max():.2f}"
         note = "collection of 100 (paper)" if name == "ALOI" else "single"
-        rows.append([name, dataset.n_samples, dataset.n_features, dataset.n_classes, note])
-    headers = ["name", "n_samples", "n_features", "n_classes", "kind"]
+        rows.append(
+            [
+                name,
+                dataset.n_samples,
+                dataset.n_features,
+                dataset.n_classes,
+                class_sizes,
+                spread,
+                note,
+            ]
+        )
+    headers = ["name", "n_samples", "n_features", "n_classes", "class_sizes", "feature_std", "kind"]
     print(format_table(headers, rows, title="Registered data sets"))
     return 0
 

@@ -12,6 +12,10 @@ framework (Pourrajabi et al., EDBT 2014):
 * :mod:`repro.constraints.generation` — sampling labelled objects,
   deriving constraints from labels, building and sampling constraint pools
   (Section 4.1 of the paper).
+* :mod:`repro.constraints.oracles` — pluggable supervision sources built on
+  top of the generation primitives: the paper's perfect oracle plus noisy,
+  budget-constrained and actively-acquiring variants, with a registry the
+  pipeline config drives by name.
 """
 
 from repro.constraints.constraint import (
@@ -35,6 +39,18 @@ from repro.constraints.generation import (
     build_constraint_pool,
     sample_constraint_subset,
 )
+from repro.constraints.oracles import (
+    ActiveOracle,
+    BudgetedOracle,
+    ConstraintOracle,
+    NoisyOracle,
+    PerfectOracle,
+    make_oracle,
+    oracle_from_spec,
+    oracle_names,
+    register_oracle,
+    repair_closure_consistency,
+)
 
 __all__ = [
     "MUST_LINK",
@@ -52,4 +68,14 @@ __all__ = [
     "sample_labeled_objects",
     "build_constraint_pool",
     "sample_constraint_subset",
+    "ConstraintOracle",
+    "PerfectOracle",
+    "NoisyOracle",
+    "BudgetedOracle",
+    "ActiveOracle",
+    "make_oracle",
+    "oracle_from_spec",
+    "oracle_names",
+    "register_oracle",
+    "repair_closure_consistency",
 ]

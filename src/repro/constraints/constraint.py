@@ -59,10 +59,12 @@ class Constraint:
 
     @property
     def is_must_link(self) -> bool:
+        """Whether this is a must-link constraint."""
         return self.kind == MUST_LINK
 
     @property
     def is_cannot_link(self) -> bool:
+        """Whether this is a cannot-link constraint."""
         return self.kind == CANNOT_LINK
 
     def involves(self, index: int) -> bool:
@@ -150,9 +152,11 @@ class ConstraintSet:
         self._by_pair[constraint.pair] = constraint
 
     def add_must_link(self, i: int, j: int) -> None:
+        """Add a must-link constraint between objects ``i`` and ``j``."""
         self.add(Constraint(i, j, MUST_LINK))
 
     def add_cannot_link(self, i: int, j: int) -> None:
+        """Add a cannot-link constraint between objects ``i`` and ``j``."""
         self.add(Constraint(i, j, CANNOT_LINK))
 
     def update(self, constraints: Iterable[Constraint]) -> None:
@@ -210,10 +214,12 @@ class ConstraintSet:
 
     @property
     def n_must_link(self) -> int:
+        """Number of must-link constraints in the set."""
         return sum(1 for c in self if c.is_must_link)
 
     @property
     def n_cannot_link(self) -> int:
+        """Number of cannot-link constraints in the set."""
         return sum(1 for c in self if c.is_cannot_link)
 
     def involved_objects(self) -> list[int]:

@@ -103,6 +103,38 @@ def constraints_from_labels(labeled: dict[int, int] | Sequence[tuple[int, int]])
     return constraints
 
 
+def _n_selected_per_class(class_size: int, fraction_per_class: float, min_per_class: int) -> int:
+    """How many objects of one class enter the constraint pool.
+
+    Single source of the pool-sizing rule: at least ``min_per_class``,
+    rounded ``fraction_per_class`` of the class otherwise, never more than
+    the class itself.  Shared by :func:`build_constraint_pool` and
+    :func:`constraint_pool_size` so the two can never drift apart.
+    """
+    return min(max(int(round(fraction_per_class * class_size)), min_per_class), class_size)
+
+
+def constraint_pool_size(
+    labels: Sequence[int] | np.ndarray,
+    *,
+    fraction_per_class: float = 0.10,
+    min_per_class: int = 2,
+) -> int:
+    """Number of constraints :func:`build_constraint_pool` would generate.
+
+    Useful for sizing query requests (the budgeted and active oracles scale
+    their budgets against the paper-style pool) without materialising the
+    quadratic pool itself.
+    """
+    labels = check_labels(labels)
+    fraction_per_class = check_fraction(fraction_per_class, name="fraction_per_class")
+    selected = sum(
+        _n_selected_per_class(int(np.sum(labels == cls)), fraction_per_class, min_per_class)
+        for cls in np.unique(labels)
+    )
+    return selected * (selected - 1) // 2
+
+
 def build_constraint_pool(
     labels: Sequence[int] | np.ndarray,
     *,
@@ -135,8 +167,7 @@ def build_constraint_pool(
     selected: dict[int, int] = {}
     for cls in np.unique(labels):
         members = np.flatnonzero(labels == cls)
-        n_select = max(int(round(fraction_per_class * members.size)), min_per_class)
-        n_select = min(n_select, members.size)
+        n_select = _n_selected_per_class(members.size, fraction_per_class, min_per_class)
         chosen = rng.choice(members, size=n_select, replace=False)
         for index in chosen:
             selected[int(index)] = int(labels[index])

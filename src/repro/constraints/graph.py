@@ -38,10 +38,12 @@ class ConstraintGraph:
 
     @property
     def n_vertices(self) -> int:
+        """Number of objects touched by at least one constraint."""
         return len(self._adjacency)
 
     @property
     def n_edges(self) -> int:
+        """Number of constraints (each is one undirected edge)."""
         return len(self._constraints)
 
     def vertices(self) -> list[int]:

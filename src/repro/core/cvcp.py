@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.clustering.base import BaseClusterer
 from repro.constraints.constraint import ConstraintSet
+from repro.constraints.oracles import ConstraintOracle, PerfectOracle
 from repro.core.executor import BACKENDS, derive_seed, get_executor
 from repro.core.folds import CVCPFold, make_folds
 from repro.core.model_selection import CVCPResult, ParameterEvaluation
@@ -128,6 +129,13 @@ class CVCP:
     random_state:
         Seed or generator controlling the fold shuffles and the clones'
         stochastic initialisation.
+    oracle / oracle_scenario / oracle_amount:
+        Optional supervision source (see :mod:`repro.constraints.oracles`).
+        With an oracle configured, :meth:`fit` is called with
+        ``ground_truth`` (the hidden labels the oracle answers from)
+        instead of pre-sampled side information; the oracle then generates
+        ``oracle_amount`` of side information for ``oracle_scenario``
+        (``"labels"`` or ``"constraints"``) before the grid runs.
     n_jobs:
         Worker count for the parallel backends (``None``/``0`` = all cores,
         negative = joblib-style counting from the core count).
@@ -187,6 +195,9 @@ class CVCP:
         use_labels_directly: bool = False,
         refit: bool = True,
         random_state: RandomStateLike = None,
+        oracle: ConstraintOracle | None = None,
+        oracle_scenario: str = "constraints",
+        oracle_amount: float = 0.2,
         n_jobs: int | None = None,
         backend: str = "serial",
         artifact_store=None,
@@ -208,6 +219,13 @@ class CVCP:
         self.use_labels_directly = use_labels_directly
         self.refit = refit
         self.random_state = random_state
+        if oracle_scenario not in ("labels", "constraints"):
+            raise ValueError(
+                f"oracle_scenario must be 'labels' or 'constraints', got {oracle_scenario!r}"
+            )
+        self.oracle = oracle
+        self.oracle_scenario = oracle_scenario
+        self.oracle_amount = oracle_amount
         self.n_jobs = n_jobs
         self.backend = backend
         self.artifact_store = artifact_store
@@ -220,14 +238,35 @@ class CVCP:
         *,
         labeled_objects: dict[int, int] | None = None,
         constraints: ConstraintSet | None = None,
+        ground_truth: np.ndarray | None = None,
     ) -> "CVCP":
         """Run the full CVCP procedure on ``X``.
 
         Exactly one kind of side information must be provided:
-        ``labeled_objects`` (Scenario I) or ``constraints`` (Scenario II).
+        ``labeled_objects`` (Scenario I), ``constraints`` (Scenario II), or
+        — with an ``oracle`` configured — ``ground_truth``, the hidden class
+        labels the oracle generates side information from (the oracle's
+        scenario and amount were fixed at construction time).
         """
         X = check_array_2d(X)
         rng = check_random_state(self.random_state)
+
+        if ground_truth is not None:
+            if labeled_objects or (constraints is not None and len(constraints)):
+                raise ValueError(
+                    "provide either ground_truth (for the oracle) or explicit "
+                    "side information, not both"
+                )
+            oracle = self.oracle if self.oracle is not None else PerfectOracle()
+            labeled_objects, constraints = oracle.side_information(
+                ground_truth, self.oracle_scenario, self.oracle_amount,
+                random_state=rng, X=X,
+            )
+        elif self.oracle is not None:
+            raise ValueError(
+                "an oracle is configured but fit() received no ground_truth to query; "
+                "pass ground_truth=y or drop the oracle and provide side information directly"
+            )
 
         if labeled_objects and constraints is not None and len(constraints):
             raise ValueError(
@@ -357,11 +396,15 @@ class CVCP:
         *,
         labeled_objects: dict[int, int] | None = None,
         constraints: ConstraintSet | None = None,
+        ground_truth: np.ndarray | None = None,
     ) -> np.ndarray:
         """Run CVCP and return the labels of the refitted best model."""
         if not self.refit:
             raise ValueError("fit_predict requires refit=True")
-        self.fit(X, labeled_objects=labeled_objects, constraints=constraints)
+        self.fit(
+            X, labeled_objects=labeled_objects, constraints=constraints,
+            ground_truth=ground_truth,
+        )
         return self.labels_
 
     # ------------------------------------------------------------------
@@ -400,6 +443,10 @@ def select_parameter(
     *,
     labeled_objects: dict[int, int] | None = None,
     constraints: ConstraintSet | None = None,
+    ground_truth: np.ndarray | None = None,
+    oracle: ConstraintOracle | None = None,
+    oracle_scenario: str = "constraints",
+    oracle_amount: float = 0.2,
     n_folds: int = 10,
     scoring: str = "average_f",
     random_state: RandomStateLike = None,
@@ -410,7 +457,10 @@ def select_parameter(
 
     Returns ``(best value, full cross-validation result)`` without refitting;
     convenient inside experiment loops where the refit is done separately.
-    ``n_jobs``/``backend`` select the execution engine for the grid.
+    ``n_jobs``/``backend`` select the execution engine for the grid.  With an
+    ``oracle``, pass ``ground_truth`` instead of pre-sampled side
+    information and the oracle generates ``oracle_amount`` of
+    ``oracle_scenario`` supervision before the grid runs.
     """
     search = CVCP(
         estimator,
@@ -419,8 +469,13 @@ def select_parameter(
         scoring=scoring,
         refit=False,
         random_state=random_state,
+        oracle=oracle,
+        oracle_scenario=oracle_scenario,
+        oracle_amount=oracle_amount,
         n_jobs=n_jobs,
         backend=backend,
     )
-    search.fit(X, labeled_objects=labeled_objects, constraints=constraints)
+    search.fit(
+        X, labeled_objects=labeled_objects, constraints=constraints, ground_truth=ground_truth
+    )
     return search.cv_results_.best_value, search.cv_results_

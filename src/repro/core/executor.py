@@ -124,6 +124,7 @@ class SerialExecutor(Executor):
         tasks: Sequence[Any],
         on_result: Callable[[int, Any], None] | None = None,
     ) -> list[Any]:
+        """Apply ``fn`` to every task inline, in task order."""
         if self.initializer is not None:
             self.initializer(*self.initargs)
         return _run_inline(fn, tasks, on_result)
@@ -151,6 +152,12 @@ class _PoolExecutor(Executor):
         tasks: Sequence[Any],
         on_result: Callable[[int, Any], None] | None = None,
     ) -> list[Any]:
+        """Apply ``fn`` to every task through the pool, in task order.
+
+        Falls back to inline execution for a single worker or task, uses a
+        chunked ``pool.map`` when no ``on_result`` callback is given, and
+        per-task submission otherwise so completions stream to the caller.
+        """
         tasks = list(tasks)
         if not tasks:
             return []

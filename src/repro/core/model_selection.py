@@ -46,6 +46,7 @@ class ParameterEvaluation:
 
     @property
     def std_score(self) -> float:
+        """Standard deviation of the fold scores (population std)."""
         return float(np.std(self.fold_scores)) if self.fold_scores else 0.0
 
 
@@ -72,10 +73,12 @@ class CVCPResult:
 
     @property
     def values(self) -> list[Any]:
+        """The candidate parameter values, in sweep order."""
         return [evaluation.value for evaluation in self.evaluations]
 
     @property
     def mean_scores(self) -> np.ndarray:
+        """Mean cross-validated score per candidate value, in sweep order."""
         return np.asarray([evaluation.mean_score for evaluation in self.evaluations])
 
     @property
@@ -88,10 +91,12 @@ class CVCPResult:
 
     @property
     def best_value(self) -> Any:
+        """The winning parameter value."""
         return self.evaluations[self.best_index].value
 
     @property
     def best_score(self) -> float:
+        """Mean cross-validated score of the winning value."""
         return self.evaluations[self.best_index].mean_score
 
     def as_table(self) -> list[tuple[Any, float, float]]:

@@ -13,6 +13,8 @@
   (CVCP vs Expected vs Silhouette performance).
 * :mod:`repro.experiments.figures` — Figures 5–8 (score curves over the
   parameter range for a representative ALOI data set).
+* :mod:`repro.experiments.robustness` — noise-robustness sweeps: CVCP
+  selection accuracy and quality as the oracle flip rate grows.
 * :mod:`repro.experiments.ablation` — extra design-choice ablations.
 * :mod:`repro.experiments.reporting` — plain-text table rendering and
   report emission through the artifact store.
@@ -63,6 +65,11 @@ from repro.experiments.comparison import (
     aloi_distribution,
 )
 from repro.experiments.figures import parameter_curves, ParameterCurves
+from repro.experiments.robustness import (
+    NoiseRobustnessTable,
+    RobustnessRow,
+    noise_robustness_table,
+)
 from repro.experiments.ablation import (
     closure_leakage_ablation,
     fold_count_ablation,
@@ -73,6 +80,7 @@ from repro.experiments.reporting import (
     format_correlation_table,
     format_comparison_table,
     format_boxplot_summary,
+    format_robustness_table,
     render_report,
     write_report,
 )
@@ -112,6 +120,9 @@ __all__ = [
     "aloi_distribution",
     "parameter_curves",
     "ParameterCurves",
+    "NoiseRobustnessTable",
+    "RobustnessRow",
+    "noise_robustness_table",
     "closure_leakage_ablation",
     "fold_count_ablation",
     "scorer_ablation",
@@ -119,4 +130,5 @@ __all__ = [
     "format_correlation_table",
     "format_comparison_table",
     "format_boxplot_summary",
+    "format_robustness_table",
 ]

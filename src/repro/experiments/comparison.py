@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.constraints.oracles import ConstraintOracle
 from repro.datasets.registry import get_dataset, get_dataset_collection
 from repro.evaluation.significance import paired_t_test
 from repro.experiments.artifacts import ArtifactStore
@@ -126,6 +127,7 @@ def _trial_sets(
     rng: np.random.Generator,
     store: ArtifactStore | None = None,
     parallelize: str = "grid",
+    oracle: ConstraintOracle | None = None,
 ) -> list[TrialResult]:
     if name.lower() == "aloi":
         datasets = get_dataset_collection(
@@ -140,7 +142,7 @@ def _trial_sets(
             run_trials(
                 dataset, algorithm, scenario, amount, config.n_trials,
                 config=config, random_state=int(rng.integers(0, 2**31 - 1)),
-                store=store, parallelize=parallelize,
+                store=store, parallelize=parallelize, oracle=oracle,
             )
         )
     return trials
@@ -158,6 +160,7 @@ def comparison_table(
     backend: str | None = None,
     store: ArtifactStore | None = None,
     parallelize: str = "grid",
+    oracle: ConstraintOracle | None = None,
 ) -> ComparisonTable:
     """Compute one comparison table.
 
@@ -176,7 +179,9 @@ def comparison_table(
 
     table = ComparisonTable(algorithm=algorithm, scenario=scenario, amount=amount)
     for name in config.datasets:
-        trials = _trial_sets(name, algorithm, scenario, amount, config, rng, store, parallelize)
+        trials = _trial_sets(
+            name, algorithm, scenario, amount, config, rng, store, parallelize, oracle
+        )
         table.rows.append(
             ComparisonRow(
                 dataset=name,
@@ -203,6 +208,7 @@ def aloi_distribution(
     backend: str | None = None,
     store: ArtifactStore | None = None,
     parallelize: str = "grid",
+    oracle: ConstraintOracle | None = None,
 ) -> dict[str, list[float]]:
     """Per-trial quality distributions on the ALOI collection (Figures 9–12).
 
@@ -222,7 +228,9 @@ def aloi_distribution(
 
     distribution: dict[str, list[float]] = {}
     for amount in amounts:
-        trials = _trial_sets("ALOI", algorithm, scenario, amount, config, rng, store, parallelize)
+        trials = _trial_sets(
+            "ALOI", algorithm, scenario, amount, config, rng, store, parallelize, oracle
+        )
         tag = int(round(amount * 100))
         distribution[f"CVCP-{tag}"] = [trial.cvcp_quality for trial in trials]
         distribution[f"Exp-{tag}"] = [trial.expected_quality for trial in trials]

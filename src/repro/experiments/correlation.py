@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.constraints.oracles import ConstraintOracle
 from repro.datasets.registry import get_dataset, get_dataset_collection
 from repro.experiments.artifacts import ArtifactStore
 from repro.experiments.config import ExperimentConfig, default_config
@@ -68,6 +69,7 @@ def correlation_table(
     backend: str | None = None,
     store: ArtifactStore | None = None,
     parallelize: str = "grid",
+    oracle: ConstraintOracle | None = None,
 ) -> CorrelationTable:
     """Compute the correlation table for one algorithm and one scenario.
 
@@ -98,7 +100,7 @@ def correlation_table(
                 trials = run_trials(
                     dataset, algorithm, scenario, amount, config.n_trials,
                     config=config, random_state=int(rng.integers(0, 2**31 - 1)),
-                    store=store, parallelize=parallelize,
+                    store=store, parallelize=parallelize, oracle=oracle,
                 )
                 correlations.extend(trial.correlation for trial in trials)
             table.values[amount][name] = float(np.mean(correlations))

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.constraints.oracles import ConstraintOracle
 from repro.datasets.base import Dataset
 from repro.datasets.registry import get_dataset
 from repro.experiments.artifacts import ArtifactStore
@@ -61,6 +62,7 @@ def parameter_curves(
     config: ExperimentConfig | None = None,
     random_state: RandomStateLike = None,
     store: ArtifactStore | None = None,
+    oracle: ConstraintOracle | None = None,
 ) -> ParameterCurves:
     """Compute the curves of one figure.
 
@@ -79,7 +81,7 @@ def parameter_curves(
     trial = run_trial(
         dataset, algorithm, scenario, amount,
         config=config, random_state=int(rng.integers(0, 2**31 - 1)),
-        store=store,
+        store=store, oracle=oracle,
     )
     return ParameterCurves(
         algorithm=algorithm,

@@ -9,7 +9,7 @@ the execution engine and the artifact-store location:
 
     [experiment]
     name = "quickstart-iris"
-    kind = "comparison"          # comparison|correlation|curves|trials|ablation
+    kind = "comparison"          # comparison|correlation|curves|trials|ablation|robustness
     algorithm = "fosc"           # fosc|mpck
     scenario = "labels"          # labels|constraints
     amounts = [0.10]
@@ -21,11 +21,19 @@ the execution engine and the artifact-store location:
     n_folds = 3
     minpts_range = [3, 6, 9]
 
+    [oracle]
+    name = "noisy"               # perfect|noisy|budgeted|active
+    flip_probability = 0.1
+
     [execution]
     backend = "serial"           # serial|thread|process
 
     [artifacts]
     root = ".repro-artifacts"
+
+The ``[oracle]`` table selects the supervision source for every trial (see
+:mod:`repro.constraints.oracles`); the ``robustness`` kind instead sweeps
+the noisy oracle's flip rate and accepts ``flip_rates``/``repair`` keys.
 
 :func:`load_pipeline_spec` parses and validates a file (collecting *all*
 problems, not just the first), and :func:`run_pipeline` executes it through
@@ -51,6 +59,7 @@ except ModuleNotFoundError:  # Python 3.10: stdlib tomllib arrived in 3.11
     except ModuleNotFoundError:
         tomllib = None  # type: ignore[assignment]
 
+from repro.constraints.oracles import ConstraintOracle, PerfectOracle, make_oracle, oracle_names
 from repro.core.executor import BACKENDS
 from repro.datasets.registry import DATASET_NAMES, get_dataset
 from repro.experiments.ablation import (
@@ -72,10 +81,12 @@ from repro.experiments.reporting import (
     format_comparison_table,
     format_correlation_table,
     format_curves,
+    format_robustness_table,
     format_table,
     render_report,
     write_report,
 )
+from repro.experiments.robustness import DEFAULT_FLIP_RATES, noise_robustness_table
 from repro.experiments.runner import run_trials
 
 #: Experiment kinds a pipeline can run, mapped to the paper's artefacts.
@@ -85,6 +96,7 @@ PIPELINE_KINDS: tuple[str, ...] = (
     "curves",
     "trials",
     "ablation",
+    "robustness",
 )
 
 ALGORITHMS: tuple[str, ...] = ("fosc", "mpck")
@@ -132,6 +144,12 @@ class PipelineSpec:
     artifacts_root: Path
     report_formats: tuple[str, ...] = ("txt", "json")
     parallelize: str = "grid"
+    #: Supervision source driving every trial (``[oracle]`` config table).
+    oracle: ConstraintOracle = PerfectOracle()
+    #: Flip rates swept by the ``robustness`` kind (ignored elsewhere).
+    flip_rates: tuple[float, ...] = DEFAULT_FLIP_RATES
+    #: Closure-consistency repair for the ``robustness`` sweep's oracle.
+    oracle_repair: bool = False
     source: Path | None = None
 
     def with_overrides(self, **overrides) -> "PipelineSpec":
@@ -192,7 +210,7 @@ def validate_pipeline_mapping(raw: dict, source: str) -> tuple[PipelineSpec | No
     """
     problems: list[str] = []
 
-    known_tables = ("experiment", "parameters", "execution", "artifacts", "report")
+    known_tables = ("experiment", "parameters", "oracle", "execution", "artifacts", "report")
     for table in raw:
         if table not in known_tables:
             problems.append(f"unknown table [{table}] (expected one of {', '.join(known_tables)})")
@@ -222,6 +240,14 @@ def validate_pipeline_mapping(raw: dict, source: str) -> tuple[PipelineSpec | No
     algorithm = _check_enum(
         problems, "experiment", "algorithm", experiment.get("algorithm", "fosc"), ALGORITHMS
     )
+    if kind == "robustness" and "algorithm" in experiment:
+        # The robustness sweep always reports every algorithm so the
+        # acceptance comparison is side by side; a single-algorithm setting
+        # would silently drop half the table.
+        problems.append(
+            'experiment.algorithm: not configurable for kind="robustness" — the sweep'
+            " runs every algorithm; remove the key"
+        )
     scenario = _check_enum(
         problems, "experiment", "scenario", experiment.get("scenario", "labels"), SCENARIOS
     )
@@ -295,6 +321,65 @@ def validate_pipeline_mapping(raw: dict, source: str) -> tuple[PipelineSpec | No
                 checked = _check_positive_int(problems, "parameters", key, value)
                 if checked is not None:
                     overrides[key] = checked
+
+    oracle_table = raw.get("oracle", {})
+    oracle: ConstraintOracle = PerfectOracle()
+    flip_rates: tuple[float, ...] = DEFAULT_FLIP_RATES
+    oracle_repair = False
+    if isinstance(oracle_table, dict) and oracle_table:
+        if kind == "ablation":
+            # Each ablation fixes its own side-information setup, so an
+            # oracle setting would be silently ignored.
+            problems.append(
+                'oracle: not configurable for kind="ablation"; remove the table'
+            )
+        elif kind == "robustness":
+            # The robustness kind sweeps the noisy oracle itself; it is
+            # configured by the sweep parameters, not an oracle name.
+            allowed = ("flip_rates", "repair")
+            for key in oracle_table:
+                if key not in allowed:
+                    problems.append(
+                        f'oracle.{key}: unknown key for kind="robustness" '
+                        f"(expected {', '.join(allowed)})"
+                    )
+            if "flip_rates" in oracle_table:
+                value = oracle_table["flip_rates"]
+                ok = (
+                    isinstance(value, list)
+                    and value != []
+                    and all(
+                        isinstance(v, (int, float)) and not isinstance(v, bool) and 0 <= v <= 1
+                        for v in value
+                    )
+                )
+                if not ok:
+                    problems.append(
+                        f"oracle.flip_rates: must be a non-empty list of rates in [0, 1],"
+                        f" got {value!r}"
+                    )
+                else:
+                    flip_rates = tuple(float(v) for v in value)
+            if "repair" in oracle_table:
+                value = oracle_table["repair"]
+                if not isinstance(value, bool):
+                    problems.append(f"oracle.repair: must be a boolean, got {value!r}")
+                else:
+                    oracle_repair = value
+        else:
+            oracle_name = oracle_table.get("name", "perfect")
+            if not isinstance(oracle_name, str) or oracle_name not in oracle_names():
+                problems.append(
+                    f"oracle.name: must be one of {', '.join(oracle_names())}, got {oracle_name!r}"
+                )
+            else:
+                params = {key: value for key, value in oracle_table.items() if key != "name"}
+                try:
+                    oracle = make_oracle(oracle_name, **params)
+                except (ValueError, TypeError) as exc:
+                    # make_oracle lists every unknown parameter in one
+                    # message, so nothing is swallowed here.
+                    problems.append(f"oracle: {exc}")
 
     execution = raw.get("execution", {})
     backend = "serial"
@@ -382,6 +467,9 @@ def validate_pipeline_mapping(raw: dict, source: str) -> tuple[PipelineSpec | No
         artifacts_root=Path(artifacts_root),
         report_formats=report_formats,
         parallelize=parallelize,
+        oracle=oracle,
+        flip_rates=flip_rates,
+        oracle_repair=oracle_repair,
         source=None,
     )
     return spec, []
@@ -452,6 +540,7 @@ def _run_comparison(spec: PipelineSpec, store: ArtifactStore) -> tuple[list[tupl
             config=spec.config,
             store=store,
             parallelize=spec.parallelize,
+            oracle=spec.oracle,
         )
         heading = f"Comparison, {int(round(amount * 100))}% side information"
         sections.append((heading, format_comparison_table(table)))
@@ -468,6 +557,7 @@ def _run_correlation(spec: PipelineSpec, store: ArtifactStore) -> tuple[list[tup
         config=spec.config,
         store=store,
         parallelize=spec.parallelize,
+        oracle=spec.oracle,
     )
     sections = [("Internal/external correlation", format_correlation_table(table))]
     results = {
@@ -491,6 +581,7 @@ def _run_curves(spec: PipelineSpec, store: ArtifactStore) -> tuple[list[tuple[st
                 dataset=dataset,
                 config=spec.config,
                 store=store,
+                oracle=spec.oracle,
             )
             heading = f"Curves, {name}, {int(round(amount * 100))}% side information"
             sections.append((heading, format_curves(curves)))
@@ -523,6 +614,7 @@ def _run_trials_kind(spec: PipelineSpec, store: ArtifactStore) -> tuple[list[tup
                 random_state=spec.config.seed,
                 parallelize=spec.parallelize,
                 store=store,
+                oracle=spec.oracle,
             )
             rows = [
                 [index, trial.cvcp_value, trial.cvcp_quality, trial.expected_quality, trial.correlation]
@@ -564,12 +656,50 @@ def _run_ablation(spec: PipelineSpec, store: ArtifactStore) -> tuple[list[tuple[
     return sections, results
 
 
+def _run_robustness(spec: PipelineSpec, store: ArtifactStore) -> tuple[list[tuple[str, str]], dict]:
+    """Noise-robustness sweep: selection accuracy vs flip rate, per algorithm.
+
+    Every registered algorithm is swept so the resulting
+    ``summary.json`` carries side-by-side selection-accuracy tables.
+    """
+    sections: list[tuple[str, str]] = []
+    results: dict = {}
+    for algorithm in ALGORITHMS:
+        per_algorithm: dict = {}
+        for amount in spec.amounts:
+            table = noise_robustness_table(
+                algorithm,
+                spec.scenario,
+                amount,
+                flip_rates=spec.flip_rates,
+                repair=spec.oracle_repair,
+                config=spec.config,
+                store=store,
+                parallelize=spec.parallelize,
+            )
+            heading = (
+                f"Noise robustness, {algorithm}, "
+                f"{int(round(amount * 100))}% side information"
+            )
+            sections.append((heading, format_robustness_table(table)))
+            per_algorithm[_format_amount(amount)] = {
+                name: {
+                    _format_amount(row.flip_rate): row.as_summary()
+                    for row in table.rows_for(name)
+                }
+                for name in table.datasets
+            }
+        results[algorithm] = per_algorithm
+    return sections, results
+
+
 _KIND_RUNNERS = {
     "comparison": _run_comparison,
     "correlation": _run_correlation,
     "curves": _run_curves,
     "trials": _run_trials_kind,
     "ablation": _run_ablation,
+    "robustness": _run_robustness,
 }
 
 
@@ -605,9 +735,13 @@ def run_pipeline(
         "seed": spec.config.seed,
         "amounts": [float(amount) for amount in spec.amounts],
         "datasets": list(spec.datasets),
+        "oracle": spec.oracle.spec(),
         "config_fingerprint": trial_config_fingerprint(spec.config),
         "results": results,
     }
+    if spec.kind == "robustness":
+        summary["flip_rates"] = sorted({0.0} | {float(rate) for rate in spec.flip_rates})
+        summary["oracle_repair"] = spec.oracle_repair
     title = f"{spec.name} — {spec.kind} pipeline ({spec.algorithm}, {spec.scenario} scenario)"
     report_text = render_report(title, sections)
 

@@ -19,6 +19,7 @@ from repro.experiments.artifacts import ArtifactStore
 from repro.experiments.comparison import ComparisonTable
 from repro.experiments.correlation import CorrelationTable
 from repro.experiments.figures import ParameterCurves
+from repro.experiments.robustness import NoiseRobustnessTable
 
 
 def format_table(
@@ -99,6 +100,27 @@ def format_curves(curves: ParameterCurves, *, title: str | None = None) -> str:
     default_title = (
         f"{curves.algorithm.upper()} ({curves.scenario} scenario) — curves, "
         f"correlation coefficient = {curves.correlation:.4f}"
+    )
+    return format_table(headers, rows, title=title or default_title)
+
+
+def format_robustness_table(table: NoiseRobustnessTable, *, title: str | None = None) -> str:
+    """Render a noise-robustness sweep as selection-accuracy-vs-flip-rate rows.
+
+    One row per (data set, flip rate): the fraction of trials whose CVCP
+    selection matches the perfect-oracle baseline at the same trial seed,
+    and the mean/std external quality of the selected parameter.
+    """
+    headers = ["Data set", "flip rate", "selection accuracy", "CVCP mean", "CVCP std"]
+    rows = [
+        [row.dataset, row.flip_rate, row.selection_accuracy, row.quality_mean, row.quality_std]
+        for row in table.rows
+    ]
+    repair_note = "with closure repair" if table.repair else "no repair"
+    default_title = (
+        f"{table.algorithm.upper()} ({table.scenario} scenario, "
+        f"{int(round(table.amount * 100))}% side information) — "
+        f"selection robustness under a noisy oracle ({repair_note})"
     )
     return format_table(headers, rows, title=title or default_title)
 

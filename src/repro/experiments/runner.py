@@ -27,12 +27,8 @@ from repro.clustering.base import BaseClusterer
 from repro.clustering.fosc import FOSCOpticsDend
 from repro.clustering.mpckmeans import MPCKMeans
 from repro.constraints.constraint import ConstraintSet
-from repro.constraints.generation import (
-    build_constraint_pool,
-    constraints_from_labels,
-    sample_constraint_subset,
-    sample_labeled_objects,
-)
+from repro.constraints.generation import constraints_from_labels
+from repro.constraints.oracles import ConstraintOracle, PerfectOracle
 from repro.core.cvcp import CVCP
 from repro.core.executor import get_executor
 from repro.core.model_selection import expected_quality
@@ -141,22 +137,28 @@ def make_side_information(
     amount: float,
     *,
     random_state: RandomStateLike = None,
+    oracle: ConstraintOracle | None = None,
 ) -> SideInformation:
-    """Sample the side information for one trial.
+    """Sample the side information for one trial through an oracle.
 
     * ``scenario="labels"``: reveal ``amount`` (e.g. 0.10) of all objects.
     * ``scenario="constraints"``: build a pool from 10% of each class and
       give ``amount`` of the pool to the algorithm.
+
+    ``oracle`` selects the supervision source (default
+    :class:`~repro.constraints.oracles.PerfectOracle`, which reproduces the
+    paper's idealised generation bit-for-bit for a fixed seed).
     """
     rng = check_random_state(random_state)
+    if scenario not in ("labels", "constraints"):
+        raise ValueError(f"unknown scenario {scenario!r}")
+    oracle = oracle if oracle is not None else PerfectOracle()
+    labeled, constraints = oracle.side_information(
+        dataset.y, scenario, amount, random_state=rng, X=dataset.X
+    )
     if scenario == "labels":
-        labeled = sample_labeled_objects(dataset.y, amount, random_state=rng)
         return SideInformation(scenario="labels", labeled_objects=labeled)
-    if scenario == "constraints":
-        pool = build_constraint_pool(dataset.y, fraction_per_class=0.10, random_state=rng)
-        subset = sample_constraint_subset(pool, amount, random_state=rng)
-        return SideInformation(scenario="constraints", constraints=subset)
-    raise ValueError(f"unknown scenario {scenario!r}")
+    return SideInformation(scenario="constraints", constraints=constraints)
 
 
 def algorithm_factory(
@@ -195,20 +197,25 @@ def trial_artifact_key(
     scenario: ScenarioName,
     amount: float,
     trial_seed: int,
+    oracle: ConstraintOracle | None = None,
 ) -> dict:
     """Artifact-store key of one trial.
 
     The key pins everything the trial's result depends on: the
     trial-relevant config fields, the data-set content, the algorithm, the
-    scenario/amount of side information, and the trial seed from which
-    every ``(value_index, fold)`` grid cell inside the trial derives.
+    scenario/amount of side information, the oracle spec (which supervision
+    source answered the queries, with all its parameters), and the trial
+    seed from which every ``(value_index, fold)`` grid cell inside the
+    trial derives.
     """
+    oracle = oracle if oracle is not None else PerfectOracle()
     return {
         "config": trial_config_fingerprint(config),
         "dataset": dataset_fingerprint(dataset),
         "algorithm": str(algorithm),
         "scenario": str(scenario),
         "amount": float(amount),
+        "oracle": oracle.spec(),
         "trial_seed": int(trial_seed),
     }
 
@@ -266,15 +273,19 @@ def run_trial(
     n_jobs: int | None = None,
     backend: str | None = None,
     store: ArtifactStore | None = None,
+    oracle: ConstraintOracle | None = None,
 ) -> TrialResult:
     """Run one full trial (see the module docstring).
 
     ``n_jobs``/``backend`` override the execution engine of
-    ``config`` for the CVCP grid inside this trial.  With a ``store`` and
-    an *integer* ``random_state`` (the seed doubles as the artifact key),
-    a previously persisted result is returned without recomputation and a
-    fresh result is written through; a generator ``random_state`` cannot
-    be keyed, so it always computes.
+    ``config`` for the CVCP grid inside this trial.  ``oracle`` selects the
+    supervision source the side information is drawn from (default: the
+    paper's perfect oracle); its spec is part of the artifact key, so
+    trials generated under different oracles never share cache entries.
+    With a ``store`` and an *integer* ``random_state`` (the seed doubles as
+    the artifact key), a previously persisted result is returned without
+    recomputation and a fresh result is written through; a generator
+    ``random_state`` cannot be keyed, so it always computes.
 
     While a keyed trial is in flight, every finished ``(value_index, fold)``
     CVCP grid cell and every per-value external fit is persisted as its own
@@ -285,14 +296,16 @@ def run_trial(
     config = (config or default_config()).with_execution(backend=backend, n_jobs=n_jobs)
     key: dict | None = None
     if store is not None and isinstance(random_state, (int, np.integer)):
-        key = trial_artifact_key(config, dataset, algorithm, scenario, amount, int(random_state))
+        key = trial_artifact_key(
+            config, dataset, algorithm, scenario, amount, int(random_state), oracle
+        )
         cached = _load_cached_trial(store, key, dataset, algorithm, config)
         if cached is not None:
             return cached
     cell_store = store if key is not None else None
     rng = check_random_state(random_state)
 
-    side = make_side_information(dataset, scenario, amount, random_state=rng)
+    side = make_side_information(dataset, scenario, amount, random_state=rng, oracle=oracle)
     estimator = algorithm_factory(algorithm, config, random_state=rng)
     values = parameter_values_for(algorithm, dataset, config)
 
@@ -398,12 +411,13 @@ class _TrialTask:
     amount: float
     config: ExperimentConfig
     random_state: int
+    oracle: ConstraintOracle | None = None
 
 
 def _run_trial_task(task: _TrialTask) -> TrialResult:
     return run_trial(
         task.dataset, task.algorithm, task.scenario, task.amount,
-        config=task.config, random_state=task.random_state,
+        config=task.config, random_state=task.random_state, oracle=task.oracle,
     )
 
 
@@ -420,6 +434,7 @@ def run_trials(
     backend: str | None = None,
     parallelize: Literal["grid", "trials"] = "grid",
     store: ArtifactStore | None = None,
+    oracle: ConstraintOracle | None = None,
 ) -> list[TrialResult]:
     """Run ``n_trials`` independent trials, each with its own side information.
 
@@ -435,7 +450,10 @@ def run_trials(
     trial's seed is derived up-front and results keep trial order.  With a
     ``store``, trials whose artifact already exists are loaded instead of
     recomputed (and freshly computed trials are written through), so an
-    interrupted or re-run grid resumes where it left off.
+    interrupted or re-run grid resumes where it left off.  ``oracle``
+    selects the supervision source for every trial (see
+    :mod:`repro.constraints.oracles`); oracles are plain picklable values,
+    so they travel through the trial-level process pool unchanged.
     """
     if parallelize not in ("grid", "trials"):
         raise ValueError(
@@ -456,7 +474,7 @@ def run_trials(
             cached = None
             key = None
             if store is not None:
-                key = trial_artifact_key(config, dataset, algorithm, scenario, amount, seed)
+                key = trial_artifact_key(config, dataset, algorithm, scenario, amount, seed, oracle)
                 cached = _load_cached_trial(store, key, dataset, algorithm, config)
             if cached is not None:
                 results[index] = cached
@@ -464,7 +482,7 @@ def run_trials(
                 pending.append((index, key))
         inner = config.with_overrides(backend="serial")
         tasks = [
-            _TrialTask(dataset, algorithm, scenario, amount, inner, seeds[index])
+            _TrialTask(dataset, algorithm, scenario, amount, inner, seeds[index], oracle)
             for index, _ in pending
         ]
         persist_trial = None
@@ -490,7 +508,7 @@ def run_trials(
     return [
         run_trial(
             dataset, algorithm, scenario, amount,
-            config=config, random_state=seed, store=store,
+            config=config, random_state=seed, store=store, oracle=oracle,
         )
         for seed in seeds
     ]

@@ -110,6 +110,87 @@ x = 1
         problems = validate_pipeline_file(path)
         assert any("has no effect" in problem for problem in problems)
 
+    def test_oracle_table_configures_the_supervision_source(self, tmp_path):
+        from repro.constraints.oracles import BudgetedOracle
+
+        path = tmp_path / "oracle.toml"
+        path.write_text(
+            GOOD_TOML.format(root=tmp_path / "artifacts")
+            + '\n[oracle]\nname = "budgeted"\nbudget = 50\nordering = "min_max"\n',
+            encoding="utf-8",
+        )
+        spec = load_pipeline_spec(path)
+        assert spec.oracle == BudgetedOracle(budget=50, ordering="min_max")
+
+    def test_oracle_problems_reported_alongside_other_tables(self, tmp_path):
+        """All problems across all tables surface in one validation pass."""
+        path = tmp_path / "bad.toml"
+        path.write_text(
+            """\
+[experiment]
+name = "multi"
+kind = "trials"
+
+[parameters]
+typo_key = 3
+
+[oracle]
+name = "noisy"
+bogus = 1
+nope = 2
+
+[execution]
+weird = true
+""",
+            encoding="utf-8",
+        )
+        problems = validate_pipeline_file(path)
+        text = "\n".join(problems)
+        assert "parameters.typo_key" in text
+        assert "bogus" in text and "nope" in text  # both unknown oracle keys
+        assert "execution.weird" in text
+
+    def test_unknown_oracle_name_rejected(self, tmp_path):
+        path = tmp_path / "bad.toml"
+        path.write_text(
+            '[experiment]\nname = "o"\nkind = "trials"\n\n[oracle]\nname = "psychic"\n',
+            encoding="utf-8",
+        )
+        problems = validate_pipeline_file(path)
+        assert any("oracle.name" in problem for problem in problems)
+
+    def test_oracle_rejected_for_ablation_kind(self, tmp_path):
+        path = tmp_path / "bad.toml"
+        path.write_text(
+            '[experiment]\nname = "o"\nkind = "ablation"\n\n[oracle]\nname = "noisy"\n',
+            encoding="utf-8",
+        )
+        problems = validate_pipeline_file(path)
+        assert any("not configurable" in problem for problem in problems)
+
+    def test_robustness_kind_oracle_keys(self, tmp_path):
+        path = tmp_path / "robust.toml"
+        path.write_text(
+            '[experiment]\nname = "r"\nkind = "robustness"\n\n'
+            "[oracle]\nflip_rates = [0.0, 0.2]\nrepair = true\n",
+            encoding="utf-8",
+        )
+        spec = load_pipeline_spec(path)
+        assert spec.flip_rates == (0.0, 0.2) and spec.oracle_repair is True
+
+    def test_robustness_kind_rejects_oracle_name_and_algorithm(self, tmp_path):
+        path = tmp_path / "robust.toml"
+        path.write_text(
+            '[experiment]\nname = "r"\nkind = "robustness"\nalgorithm = "fosc"\n\n'
+            '[oracle]\nname = "noisy"\nflip_rates = [2.0]\n',
+            encoding="utf-8",
+        )
+        problems = validate_pipeline_file(path)
+        text = "\n".join(problems)
+        assert "experiment.algorithm" in text
+        assert "oracle.name" in text  # unknown key for the robustness kind
+        assert "oracle.flip_rates" in text  # 2.0 out of range
+
     def test_toml_syntax_error_is_reported(self, tmp_path):
         path = tmp_path / "broken.toml"
         path.write_text("[experiment\nname=", encoding="utf-8")
@@ -145,6 +226,15 @@ class TestDatasetsCommand:
         out = capsys.readouterr().out
         for name in ("ALOI", "Iris", "Wine", "Ionosphere", "Ecoli", "Zyeast"):
             assert name in out
+
+    def test_list_includes_size_and_feature_summary(self, capsys):
+        assert main(["datasets", "list"]) == 0
+        out = capsys.readouterr().out
+        for column in ("n_samples", "n_features", "n_classes", "class_sizes", "feature_std"):
+            assert column in out
+        assert "50/50/50" in out  # Iris class balance
+        iris_row = next(line for line in out.splitlines() if line.startswith("Iris"))
+        assert "150" in iris_row and ".." in iris_row  # sample count + std spread
 
 
 class TestRunCommand:

@@ -1,0 +1,134 @@
+"""Structural checks for the MkDocs documentation site.
+
+CI builds the site with ``mkdocs build --strict`` (broken nav entries and
+cross-references fail the build); these tests catch the same classes of
+breakage without needing the mkdocs toolchain installed, so they run in
+the tier-1 suite:
+
+* every page referenced from ``mkdocs.yml``'s nav exists;
+* every relative markdown link between docs pages resolves to a file;
+* every ``::: module`` mkdocstrings directive names an importable module;
+* the config documentation stays in sync with the pipeline schema.
+"""
+
+import importlib
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOCS_DIR = REPO_ROOT / "docs"
+MKDOCS_YML = REPO_ROOT / "mkdocs.yml"
+
+_NAV_PAGE = re.compile(r":\s*([A-Za-z0-9_./-]+\.md)\s*$")
+_MD_LINK = re.compile(r"\]\(([^)#\s]+)(#[^)\s]*)?\)")
+_MKDOCSTRINGS_DIRECTIVE = re.compile(r"^:::\s+([A-Za-z0-9_.]+)\s*$", re.MULTILINE)
+
+
+def _docs_pages() -> list[Path]:
+    pages = sorted(DOCS_DIR.rglob("*.md"))
+    assert pages, "docs/ must contain markdown pages"
+    return pages
+
+
+class TestMkdocsConfig:
+    def test_mkdocs_yml_exists(self):
+        assert MKDOCS_YML.is_file()
+
+    def test_every_nav_page_exists(self):
+        nav_pages = [
+            match.group(1)
+            for line in MKDOCS_YML.read_text(encoding="utf-8").splitlines()
+            if (match := _NAV_PAGE.search(line))
+        ]
+        assert nav_pages, "mkdocs.yml nav must reference pages"
+        for page in nav_pages:
+            assert (DOCS_DIR / page).is_file(), f"nav references missing page {page}"
+
+    def test_every_docs_page_is_in_nav(self):
+        nav_text = MKDOCS_YML.read_text(encoding="utf-8")
+        for page in _docs_pages():
+            relative = page.relative_to(DOCS_DIR).as_posix()
+            assert relative in nav_text, f"{relative} exists but is not in the nav"
+
+
+class TestCrossReferences:
+    @pytest.mark.parametrize("page", _docs_pages(), ids=lambda p: p.relative_to(DOCS_DIR).as_posix())
+    def test_relative_markdown_links_resolve(self, page):
+        for match in _MD_LINK.finditer(page.read_text(encoding="utf-8")):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            resolved = (page.parent / target).resolve()
+            assert resolved.is_file(), f"{page.name} links to missing {target}"
+
+    def test_readme_links_into_the_site_resolve(self):
+        readme = REPO_ROOT / "README.md"
+        for match in _MD_LINK.finditer(readme.read_text(encoding="utf-8")):
+            target = match.group(1)
+            if not target.startswith("docs/"):
+                continue
+            assert (REPO_ROOT / target).is_file(), f"README links to missing {target}"
+
+
+class TestMkdocstringsDirectives:
+    def test_every_directive_names_an_importable_module(self):
+        directives: list[str] = []
+        for page in _docs_pages():
+            directives.extend(
+                _MKDOCSTRINGS_DIRECTIVE.findall(page.read_text(encoding="utf-8"))
+            )
+        assert directives, "the reference pages must use mkdocstrings directives"
+        for dotted in sorted(set(directives)):
+            importlib.import_module(dotted)  # raises on a stale reference
+
+    def test_key_public_modules_are_documented(self):
+        text = "\n".join(page.read_text(encoding="utf-8") for page in _docs_pages())
+        for module in (
+            "repro.constraints.oracles",
+            "repro.core.cvcp",
+            "repro.core.executor",
+            "repro.experiments.robustness",
+            "repro.experiments.artifacts",
+            "repro.experiments.pipeline",
+            "repro.cli.main",
+        ):
+            assert f"::: {module}" in text, f"{module} missing from the API reference"
+
+
+class TestSchemaDocsInSync:
+    """The config documentation must track the validated schema."""
+
+    def test_every_pipeline_kind_is_documented(self):
+        from repro.experiments.pipeline import PIPELINE_KINDS
+
+        config_page = (DOCS_DIR / "config.md").read_text(encoding="utf-8")
+        for kind in PIPELINE_KINDS:
+            assert kind in config_page
+
+    def test_every_oracle_name_is_documented(self):
+        from repro.constraints.oracles import oracle_names
+
+        config_page = (DOCS_DIR / "config.md").read_text(encoding="utf-8")
+        oracles_page = (DOCS_DIR / "oracles.md").read_text(encoding="utf-8")
+        for name in oracle_names():
+            assert name in config_page and name in oracles_page
+
+    def test_every_parameter_key_is_documented(self):
+        from repro.experiments.pipeline import _PARAMETER_KEYS
+
+        config_page = (DOCS_DIR / "config.md").read_text(encoding="utf-8")
+        for key in _PARAMETER_KEYS:
+            assert f"`{key}`" in config_page
+
+    def test_every_cli_command_is_documented(self):
+        cli_page = (DOCS_DIR / "cli.md").read_text(encoding="utf-8")
+        for command in ("repro run", "repro report", "repro bench",
+                        "repro datasets list", "repro validate-config"):
+            assert command in cli_page
+
+    def test_example_configs_referenced_from_docs_exist(self):
+        text = "\n".join(page.read_text(encoding="utf-8") for page in _docs_pages())
+        for example in re.findall(r"examples/[A-Za-z0-9_.-]+\.(?:toml|json)", text):
+            assert (REPO_ROOT / example).is_file(), f"docs reference missing {example}"

@@ -1,0 +1,228 @@
+"""Tests for the noise-robustness experiment and the oracle-threaded stack."""
+
+import numpy as np
+import pytest
+
+from repro.constraints.oracles import BudgetedOracle, NoisyOracle, PerfectOracle
+from repro.datasets import make_iris_like
+from repro.experiments import (
+    ArtifactStore,
+    ExperimentConfig,
+    format_robustness_table,
+    make_side_information,
+    noise_robustness_table,
+    run_trial,
+    run_trials,
+)
+from repro.experiments.pipeline import run_pipeline, validate_pipeline_mapping
+
+TINY = ExperimentConfig(
+    n_trials=2,
+    n_folds=3,
+    minpts_range=(3, 6, 9),
+    mpck_n_init=1,
+    mpck_max_iter=5,
+    datasets=("Iris",),
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_iris_like(random_state=0)
+
+
+class TestOracleThreading:
+    def test_make_side_information_default_is_bit_compatible(self, dataset):
+        """The default oracle reproduces the pre-oracle sampling exactly."""
+        explicit = make_side_information(
+            dataset, "constraints", 0.2, random_state=0, oracle=PerfectOracle()
+        )
+        default = make_side_information(dataset, "constraints", 0.2, random_state=0)
+        assert explicit.constraints == default.constraints
+
+    def test_unknown_scenario_still_rejected(self, dataset):
+        with pytest.raises(ValueError, match="scenario"):
+            make_side_information(dataset, "oracle", 0.1)
+
+    def test_run_trial_with_noisy_oracle_differs_from_perfect(self, dataset):
+        perfect = run_trial(dataset, "fosc", "labels", 0.2, config=TINY, random_state=7)
+        noisy = run_trial(
+            dataset, "fosc", "labels", 0.2, config=TINY, random_state=7,
+            oracle=NoisyOracle(flip_probability=0.5),
+        )
+        assert noisy != perfect
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_oracle_trials_identical_across_backends(self, dataset, backend):
+        """Satellite guarantee: every oracle is backend-independent."""
+        oracles = [
+            PerfectOracle(),
+            NoisyOracle(flip_probability=0.3),
+            BudgetedOracle(budget=40, ordering="farthest_first"),
+        ]
+        for oracle in oracles:
+            reference = run_trial(
+                dataset, "fosc", "constraints", 0.5, config=TINY,
+                random_state=11, oracle=oracle,
+            )
+            parallel = run_trial(
+                dataset, "fosc", "constraints", 0.5,
+                config=TINY.with_execution(backend=backend, n_jobs=2),
+                random_state=11, oracle=oracle,
+            )
+            assert parallel == reference
+
+    def test_cache_misses_when_only_the_oracle_spec_changes(self, tmp_path, dataset):
+        """Satellite guarantee: the oracle spec is part of the artifact key."""
+        store = ArtifactStore(tmp_path / "store")
+        run_trial(
+            dataset, "fosc", "labels", 0.2, config=TINY, random_state=7,
+            store=store, oracle=NoisyOracle(flip_probability=0.1),
+        )
+        assert store.count("trial") == 1
+        store.reset_stats()
+        run_trial(
+            dataset, "fosc", "labels", 0.2, config=TINY, random_state=7,
+            store=store, oracle=NoisyOracle(flip_probability=0.2),
+        )
+        assert store.stats.hits == 0
+        assert store.count("trial") == 2  # both specs cached side by side
+        store.reset_stats()
+        run_trial(
+            dataset, "fosc", "labels", 0.2, config=TINY, random_state=7,
+            store=store, oracle=NoisyOracle(flip_probability=0.1),
+        )
+        assert store.stats.hits == 1  # the original spec still hits
+
+    def test_run_trials_oracle_resume_is_bit_identical(self, tmp_path, dataset):
+        oracle = NoisyOracle(flip_probability=0.2)
+        store = ArtifactStore(tmp_path / "store")
+        fresh = run_trials(
+            dataset, "fosc", "labels", 0.2, 2, config=TINY, random_state=3,
+            store=store, oracle=oracle,
+        )
+        resumed = run_trials(
+            dataset, "fosc", "labels", 0.2, 2, config=TINY, random_state=3,
+            store=store, oracle=oracle,
+        )
+        plain = run_trials(
+            dataset, "fosc", "labels", 0.2, 2, config=TINY, random_state=3, oracle=oracle,
+        )
+        assert fresh == resumed == plain
+
+
+class TestNoiseRobustnessTable:
+    def test_baseline_rate_always_included_and_perfect(self):
+        table = noise_robustness_table(
+            "fosc", "labels", 0.2, flip_rates=[0.3], config=TINY, random_state=5
+        )
+        assert table.flip_rates[0] == 0.0
+        baseline_rows = [row for row in table.rows if row.flip_rate == 0.0]
+        assert baseline_rows and all(row.selection_accuracy == 1.0 for row in baseline_rows)
+
+    def test_rows_are_paired_per_trial(self):
+        table = noise_robustness_table(
+            "fosc", "labels", 0.2, flip_rates=[0.0, 0.4], config=TINY, random_state=5
+        )
+        rows = table.rows_for("Iris")
+        assert [row.flip_rate for row in rows] == [0.0, 0.4]
+        baseline, noisy = rows
+        assert noisy.baseline_values == baseline.selected_values
+        assert len(noisy.selected_values) == TINY.n_trials
+
+    @pytest.mark.parametrize("scenario", ["labels", "constraints"])
+    def test_arms_are_stream_paired_not_just_seed_paired(self, scenario):
+        """A vanishingly small flip rate must reproduce the baseline exactly.
+
+        Regression test: the rate-0 baseline runs through the noisy oracle
+        too, and the noisy oracle advances the rng by the same number of
+        draws at every rate — so with (almost surely) zero flips drawn, the
+        trials are identical and no rng-stream divergence masquerades as
+        noise-induced selection drift.
+        """
+        table = noise_robustness_table(
+            "fosc", scenario, 0.2, flip_rates=[1e-12], config=TINY, random_state=5
+        )
+        baseline, tiny = table.rows_for("Iris")
+        assert tiny.selection_accuracy == 1.0
+        assert tiny.selected_values == baseline.selected_values
+        assert tiny.qualities == baseline.qualities
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError, match="flip rates"):
+            noise_robustness_table(
+                "fosc", "labels", 0.2, flip_rates=[1.5], config=TINY, random_state=5
+            )
+
+    def test_formatting_renders_every_row(self):
+        table = noise_robustness_table(
+            "fosc", "labels", 0.2, flip_rates=[0.2], config=TINY, random_state=5
+        )
+        text = format_robustness_table(table)
+        assert "selection accuracy" in text and "Iris" in text
+        assert "0.2000" in text
+
+    def test_summary_payload_shape(self):
+        table = noise_robustness_table(
+            "fosc", "labels", 0.2, flip_rates=[0.2], config=TINY, random_state=5
+        )
+        payload = table.rows[0].as_summary()
+        assert set(payload) == {
+            "flip_rate",
+            "selection_accuracy",
+            "cvcp_quality_mean",
+            "cvcp_quality_std",
+            "selected_values",
+        }
+        assert np.isfinite(payload["cvcp_quality_mean"])
+
+
+class TestRobustnessPipelineKind:
+    def _spec(self, tmp_path, **oracle_table):
+        raw = {
+            "experiment": {
+                "name": "robustness-test",
+                "kind": "robustness",
+                "scenario": "labels",
+                "amounts": [0.2],
+                "datasets": ["Iris"],
+                "seed": 5,
+            },
+            "parameters": {
+                "n_trials": 1,
+                "n_folds": 3,
+                "minpts_range": [3, 6, 9],
+                "mpck_n_init": 1,
+                "mpck_max_iter": 5,
+            },
+            "oracle": oracle_table or {"flip_rates": [0.0, 0.3]},
+            "artifacts": {"root": str(tmp_path / "store")},
+        }
+        spec, problems = validate_pipeline_mapping(raw, "inline")
+        assert spec is not None, problems
+        return spec
+
+    def test_summary_has_accuracy_table_for_every_algorithm(self, tmp_path):
+        """Acceptance criterion: selection accuracy vs flip rate, >= 2 algorithms."""
+        result = run_pipeline(self._spec(tmp_path))
+        assert set(result.summary["results"]) == {"fosc", "mpck"}
+        assert result.summary["flip_rates"] == [0.0, 0.3]
+        for algorithm in ("fosc", "mpck"):
+            cells = result.summary["results"][algorithm]["0.2"]["Iris"]
+            assert set(cells) == {"0", "0.3"}
+            assert cells["0"]["selection_accuracy"] == 1.0
+            assert 0.0 <= cells["0.3"]["selection_accuracy"] <= 1.0
+
+    def test_robustness_run_resumes_from_cache(self, tmp_path):
+        spec = self._spec(tmp_path)
+        fresh = run_pipeline(spec)
+        assert fresh.stats["hits"] == 0 and fresh.stats["misses"] > 0
+        resumed = run_pipeline(spec)
+        assert resumed.stats["misses"] == 0 and resumed.stats["hits"] > 0
+        assert resumed.summary == fresh.summary
+
+    def test_report_paths_written(self, tmp_path):
+        result = run_pipeline(self._spec(tmp_path))
+        names = sorted(path.name for path in result.report_paths)
+        assert names == ["report.txt", "summary.json"]
+        assert "Noise robustness" in result.report_text
