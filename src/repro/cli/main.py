@@ -11,6 +11,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.cli import bench as bench_module
+from repro.cli import bench_kernels as bench_kernels_module
 from repro.core.executor import BACKENDS
 from repro.datasets.registry import DATASET_NAMES, get_dataset
 from repro.experiments.artifacts import ArtifactStore
@@ -116,6 +117,65 @@ def build_parser() -> argparse.ArgumentParser:
         help="allowed fractional slowdown vs baseline (default: 0.25 = 25%%)",
     )
 
+    bench_subparsers = bench_parser.add_subparsers(dest="bench_target")
+    kernels_parser = bench_subparsers.add_parser(
+        "kernels",
+        help="micro-benchmark the vectorised clustering kernels vs their reference loops",
+        description=(
+            "Time each of the four hot clustering kernels (OPTICS reachability sweep, "
+            "single-linkage MST + dendrogram, FOSC condensed-tree extraction, MPCK-Means "
+            "assignment) in both implementations at three problem sizes, assert that the "
+            "two are bit-identical, and optionally gate the record against the committed "
+            "BENCH_kernels.json baseline (exit 1 on a parity mismatch, a slowdown beyond "
+            "--max-slowdown, or a speedup below the baseline's per-kernel floor)."
+        ),
+    )
+    # The parent ``bench`` parser shares several dests (--rounds, --json,
+    # --compare, --baseline, --max-slowdown) with this subparser; defaults
+    # are SUPPRESSed here so a flag given *before* the ``kernels`` token
+    # (e.g. ``repro bench --rounds 3 kernels``) is not silently clobbered
+    # by the subparser's defaults.  Effective defaults live in
+    # ``_command_bench_kernels``.
+    kernels_parser.add_argument(
+        "--sizes",
+        default=argparse.SUPPRESS,
+        help=(
+            "comma-separated problem sizes to run "
+            f"(default: {','.join(bench_kernels_module.KERNEL_BENCH_SIZES)})"
+        ),
+    )
+    kernels_parser.add_argument(
+        "--rounds",
+        type=int,
+        default=argparse.SUPPRESS,
+        help="timing rounds per kernel and implementation; best is kept (default: 1)",
+    )
+    kernels_parser.add_argument(
+        "--json",
+        dest="json_out",
+        metavar="PATH",
+        default=argparse.SUPPRESS,
+        help="write the fresh record to PATH",
+    )
+    kernels_parser.add_argument(
+        "--compare",
+        metavar="FRESH",
+        default=argparse.SUPPRESS,
+        help="load a fresh kernel record instead of running the benchmarks",
+    )
+    kernels_parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=argparse.SUPPRESS,
+        help="baseline JSON to gate against (e.g. BENCH_kernels.json)",
+    )
+    kernels_parser.add_argument(
+        "--max-slowdown",
+        type=float,
+        default=argparse.SUPPRESS,
+        help="allowed fractional vectorized-wall-clock slowdown vs baseline (default: 0.25)",
+    )
+
     datasets_parser = subparsers.add_parser("datasets", help="inspect the data-set registry")
     datasets_subparsers = datasets_parser.add_subparsers(dest="datasets_command", required=True)
     datasets_subparsers.add_parser("list", help="list registered data sets with their shapes")
@@ -168,7 +228,67 @@ def _command_run(args: argparse.Namespace, *, reports_only: bool = False) -> int
     return 0
 
 
+def _command_bench_kernels(args: argparse.Namespace) -> int:
+    # Shared-dest flags may come from the parent ``bench`` parser (given
+    # before the ``kernels`` token), the subparser (after it), or neither
+    # — in which case the getattr fallbacks below apply.
+    sizes_spec = getattr(args, "sizes", ",".join(bench_kernels_module.KERNEL_BENCH_SIZES))
+    rounds = getattr(args, "rounds", 1)
+    json_out = getattr(args, "json_out", None)
+    compare = getattr(args, "compare", None)
+    baseline_path = getattr(args, "baseline", None)
+    max_slowdown = getattr(args, "max_slowdown", 0.25)
+
+    expected_sizes = None
+    if compare:
+        if json_out:
+            print(
+                "--json records a live benchmark run and cannot be combined with --compare "
+                "(the fresh record already exists on disk)",
+                file=sys.stderr,
+            )
+            return 2
+        record = bench_kernels_module.load_json(compare)
+    else:
+        sizes = tuple(name.strip() for name in sizes_spec.split(",") if name.strip())
+        # A deliberate subset run is gated only on the sizes it covers.
+        expected_sizes = sizes
+        try:
+            record = bench_kernels_module.run_bench_kernels(sizes, rounds=rounds)
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        if json_out:
+            Path(json_out).write_text(
+                json.dumps(record, sort_keys=True, indent=2) + "\n",
+                encoding="utf-8",
+            )
+            print(f"wrote {json_out}")
+
+    try:
+        fresh = bench_kernels_module.normalize_record(record)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    baseline = bench_kernels_module.load_json(baseline_path) if baseline_path else None
+    print(bench_kernels_module.format_kernel_table(fresh, baseline))
+
+    if baseline is not None:
+        problems = bench_kernels_module.compare_records(
+            fresh, baseline, max_slowdown=max_slowdown, expected_sizes=expected_sizes
+        )
+        if problems:
+            print("kernel benchmark regression detected:", file=sys.stderr)
+            for problem in problems:
+                print(f"  - {problem}", file=sys.stderr)
+            return 1
+        print(f"kernel benchmark within baseline (max slowdown {max_slowdown:.0%})")
+    return 0
+
+
 def _command_bench(args: argparse.Namespace) -> int:
+    if getattr(args, "bench_target", None) == "kernels":
+        return _command_bench_kernels(args)
     expected_backends = None
     if args.compare:
         if args.json_out:

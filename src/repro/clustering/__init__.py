@@ -20,6 +20,12 @@ machinery in :mod:`repro.clustering.hierarchy`.
 """
 
 from repro.clustering.base import BaseClusterer, ClusteringResult
+from repro.clustering.kernels import (
+    KERNEL_MODES,
+    DEFAULT_KERNEL_MODE,
+    KERNELS_ENV_VAR,
+    resolve_kernel_mode,
+)
 from repro.clustering.distances import (
     pairwise_distances,
     euclidean_distances,
@@ -36,12 +42,17 @@ from repro.clustering.hierarchy import (
     mutual_reachability,
     build_single_linkage_tree,
     CondensedTree,
+    CondensedTreeArrays,
 )
 from repro.clustering.fosc import FOSC, FOSCOpticsDend
 
 __all__ = [
     "BaseClusterer",
     "ClusteringResult",
+    "KERNEL_MODES",
+    "DEFAULT_KERNEL_MODE",
+    "KERNELS_ENV_VAR",
+    "resolve_kernel_mode",
     "pairwise_distances",
     "euclidean_distances",
     "diagonal_mahalanobis_distances",
@@ -57,6 +68,7 @@ __all__ = [
     "mutual_reachability",
     "build_single_linkage_tree",
     "CondensedTree",
+    "CondensedTreeArrays",
     "FOSC",
     "FOSCOpticsDend",
 ]

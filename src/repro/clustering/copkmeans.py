@@ -78,6 +78,26 @@ class COPKMeans(BaseClusterer):
         constraints: ConstraintSet | None = None,
         seed_labels: dict[int, int] | None = None,
     ) -> "COPKMeans":
+        """Cluster ``X`` under *hard* pairwise constraints.
+
+        Parameters
+        ----------
+        X:
+            ``(n, d)`` data matrix.
+        constraints:
+            Must-link / cannot-link constraints; every returned assignment
+            satisfies the transitive closure of this set exactly (COP-KMeans
+            treats constraints as inviolable, unlike MPCK-Means' penalties).
+        seed_labels:
+            Optional partial labelling, converted to its induced pairwise
+            constraints before clustering.
+
+        Raises
+        ------
+        ConstraintViolationError
+            If no constraint-respecting assignment could be found for some
+            object in any restart.
+        """
         X = check_array_2d(X)
         n_clusters = check_positive_int(self.n_clusters, name="n_clusters")
         if n_clusters > X.shape[0]:

@@ -110,11 +110,10 @@ def diagonal_mahalanobis_distances(
         raise ValueError(
             f"centers and weights must have the same shape, got {centers.shape} and {weights.shape}"
         )
-    n_clusters = centers.shape[0]
-    distances = np.empty((X.shape[0], n_clusters), dtype=np.float64)
-    for h in range(n_clusters):
-        diff = X - centers[h]
-        distances[:, h] = np.einsum("ij,j,ij->i", diff, weights[h], diff)
+    # Batched over all centers at once: one (n, k, d) broadcast difference
+    # contracted in a single einsum instead of a Python loop over clusters.
+    diff = X[:, None, :] - centers[None, :, :]
+    distances = np.einsum("nkd,kd,nkd->nk", diff, weights, diff)
     np.maximum(distances, 0.0, out=distances)
     if squared:
         return distances

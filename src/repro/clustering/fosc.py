@@ -25,10 +25,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.clustering import kernels as _kernels
 from repro.clustering.base import BaseClusterer
-from repro.clustering.hierarchy import CondensedTree, DensityHierarchy
+from repro.clustering.hierarchy import CondensedTree, CondensedTreeArrays, DensityHierarchy
 from repro.constraints.closure import transitive_closure
-from repro.constraints.constraint import ConstraintSet
+from repro.constraints.constraint import MUST_LINK, ConstraintSet
 from repro.utils.rng import RandomStateLike
 from repro.utils.validation import check_array_2d, check_positive_int
 
@@ -77,11 +78,31 @@ class FOSC:
     # ------------------------------------------------------------------
     def extract(
         self,
-        tree: CondensedTree,
+        tree: CondensedTree | CondensedTreeArrays,
         constraints: ConstraintSet | None = None,
     ) -> FOSCSelection:
-        """Select the optimal antichain of clusters from ``tree``."""
+        """Select the optimal antichain of clusters from ``tree``.
+
+        Parameters
+        ----------
+        tree:
+            Either a reference :class:`~repro.clustering.hierarchy.CondensedTree`
+            (processed with the interpreter-bound dynamic program below) or
+            an array-backed
+            :class:`~repro.clustering.hierarchy.CondensedTreeArrays`
+            (processed with the vectorized FOSC kernel).  Both paths
+            return bit-identical selections, labels and objectives.
+        constraints:
+            Should-link / should-not-link side information; with an empty
+            set the unsupervised stability objective is used.
+        """
         constraints = constraints if constraints is not None else ConstraintSet()
+        if isinstance(tree, CondensedTreeArrays):
+            i_idx, j_idx, kinds = constraints.as_arrays()
+            selected, labels, objective, used = _kernels.fosc_extract(
+                tree.arrays, i_idx, j_idx, kinds == MUST_LINK, self.stability_weight
+            )
+            return FOSCSelection(selected, labels, objective, used)
         use_constraints = len(constraints) > 0
 
         quality = self._cluster_qualities(tree, constraints, use_constraints)
@@ -209,6 +230,11 @@ class FOSCOpticsDend(BaseClusterer):
         :class:`FOSC`.
     metric:
         Distance metric.
+    kernels:
+        Kernel implementation for the hierarchy construction and FOSC
+        extraction — ``"vectorized"`` (default) or ``"reference"``;
+        ``None`` consults ``REPRO_KERNELS``.  Results are bit-identical
+        either way; see :mod:`repro.clustering.kernels`.
 
     Attributes
     ----------
@@ -230,12 +256,14 @@ class FOSCOpticsDend(BaseClusterer):
         min_cluster_size: int | None = None,
         stability_weight: float = 1e-3,
         metric: str = "euclidean",
+        kernels: str | None = None,
         random_state: RandomStateLike = None,
     ) -> None:
         self.min_pts = min_pts
         self.min_cluster_size = min_cluster_size
         self.stability_weight = stability_weight
         self.metric = metric
+        self.kernels = kernels
         self.random_state = random_state
 
     def fit(
@@ -260,6 +288,7 @@ class FOSCOpticsDend(BaseClusterer):
             effective_min_pts,
             min_cluster_size=self.min_cluster_size,
             metric=self.metric,
+            kernels=self.kernels,
         ).fit(X)
         fosc = FOSC(stability_weight=self.stability_weight)
         selection = fosc.extract(hierarchy.condensed_tree_, constraints)

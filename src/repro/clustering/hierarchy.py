@@ -25,9 +25,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.clustering import kernels as _kernels
 from repro.clustering.distances import k_nearest_distances
 from repro.utils.cache import cached_pairwise_distances
-from repro.utils.disjoint_set import DisjointSet
 from repro.utils.validation import check_array_2d, check_positive_int
 
 
@@ -49,42 +49,39 @@ def mutual_reachability(distances: np.ndarray, core_distances: np.ndarray) -> np
     return mreach
 
 
-def minimum_spanning_tree(distances: np.ndarray) -> np.ndarray:
+def minimum_spanning_tree(distances: np.ndarray, *, kernels: str | None = None) -> np.ndarray:
     """Dense Prim minimum spanning tree.
+
+    Parameters
+    ----------
+    distances:
+        ``(n, n)`` symmetric distance matrix.
+    kernels:
+        Kernel implementation (``"vectorized"``/``"reference"``/``None``);
+        both are bit-identical — see :mod:`repro.clustering.kernels`.
 
     Returns
     -------
     ndarray
         ``(n-1, 3)`` array of edges ``(u, v, weight)`` sorted by weight.
     """
-    distances = np.asarray(distances, dtype=np.float64)
-    n_samples = distances.shape[0]
-    if n_samples < 2:
-        return np.empty((0, 3), dtype=np.float64)
-
-    in_tree = np.zeros(n_samples, dtype=bool)
-    best_distance = np.full(n_samples, np.inf)
-    best_source = np.full(n_samples, -1, dtype=np.int64)
-
-    in_tree[0] = True
-    best_distance[:] = distances[0]
-    best_source[:] = 0
-    best_distance[0] = np.inf
-
-    edges = np.empty((n_samples - 1, 3), dtype=np.float64)
-    for edge_index in range(n_samples - 1):
-        candidate = int(np.argmin(np.where(in_tree, np.inf, best_distance)))
-        edges[edge_index] = (best_source[candidate], candidate, best_distance[candidate])
-        in_tree[candidate] = True
-        improved = ~in_tree & (distances[candidate] < best_distance)
-        best_distance[improved] = distances[candidate][improved]
-        best_source[improved] = candidate
-    order = np.argsort(edges[:, 2], kind="stable")
-    return edges[order]
+    return _kernels.minimum_spanning_tree(distances, kernels=kernels)
 
 
-def build_single_linkage_tree(mst_edges: np.ndarray, n_samples: int) -> np.ndarray:
+def build_single_linkage_tree(
+    mst_edges: np.ndarray, n_samples: int, *, kernels: str | None = None
+) -> np.ndarray:
     """Convert sorted MST edges into scipy-style merge records.
+
+    Parameters
+    ----------
+    mst_edges:
+        ``(n-1, 3)`` MST edges sorted by weight.
+    n_samples:
+        Number of leaves.
+    kernels:
+        Kernel implementation (``"vectorized"``/``"reference"``/``None``);
+        both are bit-identical — see :mod:`repro.clustering.kernels`.
 
     Returns
     -------
@@ -94,29 +91,7 @@ def build_single_linkage_tree(mst_edges: np.ndarray, n_samples: int) -> np.ndarr
         ``size`` leaves, exactly like :func:`scipy.cluster.hierarchy.linkage`
         output for single linkage.
     """
-    mst_edges = np.asarray(mst_edges, dtype=np.float64)
-    if mst_edges.shape[0] != n_samples - 1:
-        raise ValueError(
-            f"expected {n_samples - 1} MST edges for {n_samples} samples, got {mst_edges.shape[0]}"
-        )
-    ds = DisjointSet(range(n_samples))
-    current_node: dict[int, int] = {index: index for index in range(n_samples)}
-    sizes: dict[int, int] = {index: 1 for index in range(n_samples)}
-    merges = np.empty((n_samples - 1, 4), dtype=np.float64)
-
-    next_node = n_samples
-    for row, (u, v, weight) in enumerate(mst_edges):
-        root_u = ds.find(int(u))
-        root_v = ds.find(int(v))
-        node_u = current_node[root_u]
-        node_v = current_node[root_v]
-        merged_size = sizes[node_u] + sizes[node_v]
-        merges[row] = (node_u, node_v, weight, merged_size)
-        new_root = ds.union(root_u, root_v)
-        current_node[new_root] = next_node
-        sizes[next_node] = merged_size
-        next_node += 1
-    return merges
+    return _kernels.single_linkage_tree(mst_edges, n_samples, kernels=kernels)
 
 
 @dataclass
@@ -292,6 +267,83 @@ class CondensedTree:
         return labels
 
 
+class CondensedTreeArrays:
+    """Array-backed condensed hierarchy (the vectorized kernel's tree).
+
+    Wraps the flat :class:`~repro.clustering.kernels.CondensedArrayData`
+    produced by :func:`~repro.clustering.kernels.condense_tree` while
+    exposing the same query interface as :class:`CondensedTree` —
+    :attr:`clusters`, :attr:`root`, :meth:`leaves`, :meth:`stability`,
+    :meth:`selectable_clusters` and :meth:`labels_for_selection` — so
+    consumers can treat either tree flavour uniformly.  The per-cluster
+    :class:`CondensedCluster` objects (with their Python sets and dicts)
+    are only materialised lazily on first access to :attr:`clusters`;
+    the FOSC extraction kernel never touches them.
+    """
+
+    def __init__(self, data: "_kernels.CondensedArrayData") -> None:
+        self.arrays = data
+        self.n_samples = data.n_samples
+        self.min_cluster_size = data.min_cluster_size
+        self._clusters: dict[int, CondensedCluster] | None = None
+        self._stabilities: np.ndarray | None = None
+
+    # -- queries (CondensedTree-compatible) -----------------------------
+    @property
+    def clusters(self) -> dict[int, CondensedCluster]:
+        """Per-cluster objects, materialised lazily from the flat arrays."""
+        if self._clusters is None:
+            data = self.arrays
+            clusters = {
+                cluster_id: CondensedCluster(
+                    cluster_id=cluster_id,
+                    parent=int(data.parent[cluster_id]),
+                    birth_lambda=float(data.birth_lambda[cluster_id]),
+                    children=list(data.children[cluster_id]),
+                    split_lambda=float(data.split_lambda[cluster_id]),
+                )
+                for cluster_id in range(data.n_clusters)
+            }
+            for point, (cluster_id, level) in enumerate(
+                zip(data.point_cluster.tolist(), data.point_lambda.tolist())
+            ):
+                clusters[cluster_id].point_lambdas[point] = level
+            for cluster_id in range(data.n_clusters - 1, -1, -1):
+                cluster = clusters[cluster_id]
+                cluster.members.update(cluster.point_lambdas)
+                for child_id in cluster.children:
+                    cluster.members.update(clusters[child_id].members)
+            self._clusters = clusters
+        return self._clusters
+
+    @property
+    def root(self) -> CondensedCluster:
+        """The root cluster (id ``0``)."""
+        return self.clusters[0]
+
+    def leaves(self) -> list[int]:
+        """Identifiers of clusters without children."""
+        return [
+            cluster_id
+            for cluster_id in range(self.arrays.n_clusters)
+            if not self.arrays.children[cluster_id]
+        ]
+
+    def stability(self, cluster_id: int) -> float:
+        """Excess-of-mass stability (bit-identical to the reference tree)."""
+        if self._stabilities is None:
+            self._stabilities = _kernels.stabilities(self.arrays)
+        return float(self._stabilities[cluster_id])
+
+    def selectable_clusters(self) -> list[int]:
+        """Every cluster except the root (the root is the trivial solution)."""
+        return list(range(1, self.arrays.n_clusters))
+
+    def labels_for_selection(self, selected: list[int]) -> np.ndarray:
+        """Flat labels for a set of selected clusters; unassigned points are noise."""
+        return _kernels.labels_for_selection(self.arrays, list(selected))
+
+
 class DensityHierarchy:
     """Facade: data matrix → condensed density hierarchy.
 
@@ -304,6 +356,13 @@ class DensityHierarchy:
         ``min_pts``, matching common HDBSCAN*/FOSC practice.
     metric:
         Distance metric.
+    kernels:
+        Kernel implementation for the MST, dendrogram and condensed-tree
+        stages — ``"vectorized"`` (default) or ``"reference"``; ``None``
+        consults ``REPRO_KERNELS``.  With ``"vectorized"`` the fitted
+        ``condensed_tree_`` is a :class:`CondensedTreeArrays` (same query
+        API, bit-identical contents); with ``"reference"`` it is a
+        :class:`CondensedTree`.
     """
 
     def __init__(
@@ -312,6 +371,7 @@ class DensityHierarchy:
         *,
         min_cluster_size: int | None = None,
         metric: str = "euclidean",
+        kernels: str | None = None,
     ) -> None:
         self.min_pts = check_positive_int(min_pts, name="min_pts")
         self.min_cluster_size = (
@@ -319,6 +379,7 @@ class DensityHierarchy:
             else check_positive_int(min_cluster_size, name="min_cluster_size", minimum=2)
         )
         self.metric = metric
+        self.kernels = kernels
 
     def fit(self, X: np.ndarray) -> "DensityHierarchy":
         """Build the hierarchy for ``X``."""
@@ -327,14 +388,24 @@ class DensityHierarchy:
             raise ValueError(
                 f"min_pts={self.min_pts} exceeds the number of samples {X.shape[0]}"
             )
+        mode = _kernels.resolve_kernel_mode(self.kernels)
         # Memoised: every (value × fold) grid cell of a CVCP sweep shares the
         # same O(n²) matrix, so only the first cell per process computes it.
         distances = cached_pairwise_distances(X, metric=self.metric)
         self.core_distances_ = k_nearest_distances(distances, self.min_pts)
         self.mutual_reachability_ = mutual_reachability(distances, self.core_distances_)
-        self.mst_edges_ = minimum_spanning_tree(self.mutual_reachability_)
-        self.single_linkage_tree_ = build_single_linkage_tree(self.mst_edges_, X.shape[0])
-        self.condensed_tree_ = CondensedTree(
-            self.single_linkage_tree_, X.shape[0], self.min_cluster_size
+        self.mst_edges_ = minimum_spanning_tree(self.mutual_reachability_, kernels=mode)
+        self.single_linkage_tree_ = build_single_linkage_tree(
+            self.mst_edges_, X.shape[0], kernels=mode
         )
+        if mode == "vectorized":
+            self.condensed_tree_ = CondensedTreeArrays(
+                _kernels.condense_tree(
+                    self.single_linkage_tree_, X.shape[0], self.min_cluster_size
+                )
+            )
+        else:
+            self.condensed_tree_ = CondensedTree(
+                self.single_linkage_tree_, X.shape[0], self.min_cluster_size
+            )
         return self

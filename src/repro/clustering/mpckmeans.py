@@ -28,6 +28,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.clustering.base import BaseClusterer
+from repro.clustering.kernels import build_neighbor_csr, mpck_assign
 from repro.clustering.kmeans import kmeans_plus_plus_init
 from repro.constraints.closure import transitive_closure
 from repro.constraints.constraint import ConstraintSet
@@ -57,6 +58,12 @@ class MPCKMeans(BaseClusterer):
         Maximum EM iterations per restart.
     tol:
         Relative objective-improvement tolerance used to declare convergence.
+    kernels:
+        Kernel implementation for the assignment step — ``"vectorized"``
+        (CSR neighbour arrays + batched penalty math, the default) or
+        ``"reference"`` (per-point/per-neighbour Python loops); ``None``
+        consults ``REPRO_KERNELS``.  Labels are bit-identical either way;
+        see :mod:`repro.clustering.kernels`.
     random_state:
         Seed or generator.
 
@@ -86,6 +93,7 @@ class MPCKMeans(BaseClusterer):
         n_init: int = 3,
         max_iter: int = 30,
         tol: float = 1e-5,
+        kernels: str | None = None,
         random_state: RandomStateLike = None,
     ) -> None:
         self.n_clusters = n_clusters
@@ -94,6 +102,7 @@ class MPCKMeans(BaseClusterer):
         self.n_init = n_init
         self.max_iter = max_iter
         self.tol = tol
+        self.kernels = kernels
         self.random_state = random_state
 
     # ------------------------------------------------------------------
@@ -162,10 +171,15 @@ class MPCKMeans(BaseClusterer):
         weights = np.ones((n_clusters, n_features), dtype=np.float64)
         labels = self._nearest_center_labels(X, centers, weights)
 
+        # CSR neighbour views over the closure, shared by every assignment
+        # sweep (and by both kernel implementations).
+        must_csr = build_neighbor_csr(must_pairs, n_samples)
+        cannot_csr = build_neighbor_csr(cannot_pairs, n_samples)
+
         previous_objective = np.inf
         iteration = 0
         for iteration in range(1, self.max_iter + 1):
-            labels = self._assign(X, centers, weights, labels, must_pairs, cannot_pairs, rng)
+            labels = self._assign(X, centers, weights, labels, must_csr, cannot_csr, rng)
             centers = self._update_centers(X, labels, centers, n_clusters)
             if self.learn_metrics:
                 weights = self._update_metrics(
@@ -240,54 +254,42 @@ class MPCKMeans(BaseClusterer):
         centers: np.ndarray,
         weights: np.ndarray,
         labels: np.ndarray,
-        must_pairs: np.ndarray,
-        cannot_pairs: np.ndarray,
+        must_csr: tuple[np.ndarray, np.ndarray],
+        cannot_csr: tuple[np.ndarray, np.ndarray],
         rng: np.random.Generator,
     ) -> np.ndarray:
-        """Greedy ICM assignment of points in random order."""
+        """Greedy ICM assignment of points in random order.
+
+        The sweep itself is one of the four hot kernels
+        (:func:`~repro.clustering.kernels.mpck_assign`); the shared
+        per-sweep quantities (point–centre distances, metric
+        log-determinants, cannot-link penalty scales) are computed here so
+        both kernel implementations consume identical inputs.
+        """
         n_samples = X.shape[0]
         n_clusters = centers.shape[0]
-        w = self.constraint_weight
-        labels = labels.copy()
 
         log_det = np.array(
             [float(np.sum(np.log(np.maximum(weights[h], _EPS)))) for h in range(n_clusters)]
         )
         distances = self._point_center_distances(X, centers, weights)
         max_sq, _ = self._pair_penalties(X, weights)
-
-        # Adjacency lists over the closure, built once per assignment sweep.
-        must_neighbors: list[list[int]] = [[] for _ in range(n_samples)]
-        for i, j in must_pairs:
-            must_neighbors[i].append(int(j))
-            must_neighbors[j].append(int(i))
-        cannot_neighbors: list[list[int]] = [[] for _ in range(n_samples)]
-        for i, j in cannot_pairs:
-            cannot_neighbors[i].append(int(j))
-            cannot_neighbors[j].append(int(i))
-
-        for index in rng.permutation(n_samples):
-            costs = distances[index].copy() - log_det
-            for other in must_neighbors[index]:
-                other_label = labels[other]
-                diff = X[index] - X[other]
-                for h in range(n_clusters):
-                    if h != other_label:
-                        # Violated must-link: penalty grows with the distance
-                        # between the two points under both involved metrics.
-                        pair_distance = 0.5 * (
-                            float(np.dot(diff * weights[h], diff))
-                            + float(np.dot(diff * weights[other_label], diff))
-                        )
-                        costs[h] += w * pair_distance
-            for other in cannot_neighbors[index]:
-                other_label = labels[other]
-                diff = X[index] - X[other]
-                pair_distance = float(np.dot(diff * weights[other_label], diff))
-                # Violated cannot-link: penalty is larger the closer the pair.
-                costs[other_label] += w * max(max_sq[other_label] - pair_distance, 0.0)
-            labels[index] = int(np.argmin(costs))
-        return labels
+        order = rng.permutation(n_samples)
+        return mpck_assign(
+            X,
+            weights,
+            labels,
+            distances,
+            log_det,
+            max_sq,
+            must_csr[0],
+            must_csr[1],
+            cannot_csr[0],
+            cannot_csr[1],
+            order,
+            self.constraint_weight,
+            kernels=self.kernels,
+        )
 
     @staticmethod
     def _update_centers(
@@ -369,16 +371,19 @@ class MPCKMeans(BaseClusterer):
         total -= float(log_det[labels].sum())
 
         max_sq, _ = self._pair_penalties(X, weights)
+        # Same squared-difference formulation as the assignment kernels
+        # (repro.clustering.kernels.mpck_assign), so objective and
+        # assignment agree bit-for-bit on every penalty term.
         for i, j in must_pairs:
             if labels[i] != labels[j]:
-                diff = X[i] - X[j]
+                diff_sq = (X[i] - X[j]) ** 2
                 total += w * 0.5 * (
-                    float(np.dot(diff * weights[labels[i]], diff))
-                    + float(np.dot(diff * weights[labels[j]], diff))
+                    float(np.sum(diff_sq * weights[labels[i]]))
+                    + float(np.sum(diff_sq * weights[labels[j]]))
                 )
         for i, j in cannot_pairs:
             if labels[i] == labels[j]:
-                diff = X[i] - X[j]
-                pair_distance = float(np.dot(diff * weights[labels[i]], diff))
+                diff_sq = (X[i] - X[j]) ** 2
+                pair_distance = float(np.sum(diff_sq * weights[labels[i]]))
                 total += w * max(max_sq[labels[i]] - pair_distance, 0.0)
         return total

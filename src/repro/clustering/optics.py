@@ -15,12 +15,11 @@ a fixed ``eps`` is also provided.
 
 from __future__ import annotations
 
-import heapq
-
 import numpy as np
 
 from repro.clustering.base import BaseClusterer
 from repro.clustering.distances import k_nearest_distances
+from repro.clustering.kernels import optics_ordering
 from repro.utils.cache import cached_pairwise_distances
 from repro.constraints.constraint import ConstraintSet
 from repro.utils.rng import RandomStateLike
@@ -43,6 +42,13 @@ class OPTICS(BaseClusterer):
     metric:
         Distance metric passed to
         :func:`~repro.clustering.distances.pairwise_distances`.
+    kernels:
+        Kernel implementation for the reachability sweep —
+        ``"vectorized"`` (masked array operations, the default) or
+        ``"reference"`` (the heap-based loop).  ``None`` consults the
+        ``REPRO_KERNELS`` environment variable.  Both produce
+        bit-identical orderings and reachabilities; see
+        :mod:`repro.clustering.kernels`.
 
     Attributes
     ----------
@@ -67,11 +73,13 @@ class OPTICS(BaseClusterer):
         *,
         eps: float = np.inf,
         metric: str = "euclidean",
+        kernels: str | None = None,
         random_state: RandomStateLike = None,
     ) -> None:
         self.min_pts = min_pts
         self.eps = eps
         self.metric = metric
+        self.kernels = kernels
         self.random_state = random_state
 
     def fit(
@@ -90,48 +98,17 @@ class OPTICS(BaseClusterer):
 
         distances = cached_pairwise_distances(X, metric=self.metric)
         self.core_distances_ = k_nearest_distances(distances, min_pts)
-        self.ordering_, self.reachability_ = self._compute_ordering(distances)
+        # The sweep is one of the four hot kernels; both implementations
+        # are bit-identical (see repro.clustering.kernels).
+        self.ordering_, self.reachability_ = optics_ordering(
+            distances, self.core_distances_, self.eps, kernels=self.kernels
+        )
         if np.isfinite(self.eps):
             self.labels_ = self.extract_dbscan(self.eps)
         else:
             self.labels_ = np.zeros(X.shape[0], dtype=np.int64)
         self._distances = distances
         return self
-
-    # ------------------------------------------------------------------
-    def _compute_ordering(self, distances: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        n_samples = distances.shape[0]
-        eps = self.eps
-        core = self.core_distances_
-        reachability = np.full(n_samples, np.inf)
-        processed = np.zeros(n_samples, dtype=bool)
-        ordering: list[int] = []
-
-        for start in range(n_samples):
-            if processed[start]:
-                continue
-            # Expand one connected component with a priority queue keyed by
-            # the current reachability distance (ties broken by index for
-            # determinism).
-            heap: list[tuple[float, int]] = [(np.inf, start)]
-            while heap:
-                current_reach, index = heapq.heappop(heap)
-                if processed[index]:
-                    continue
-                processed[index] = True
-                ordering.append(index)
-                if core[index] > eps:
-                    continue
-                neighbor_distances = distances[index]
-                within = np.flatnonzero(~processed & (neighbor_distances <= eps))
-                if within.size == 0:
-                    continue
-                new_reach = np.maximum(core[index], neighbor_distances[within])
-                improved = new_reach < reachability[within]
-                for neighbor, reach in zip(within[improved], new_reach[improved]):
-                    reachability[neighbor] = reach
-                    heapq.heappush(heap, (float(reach), int(neighbor)))
-        return np.asarray(ordering, dtype=np.int64), reachability
 
     # ------------------------------------------------------------------
     def reachability_plot(self) -> tuple[np.ndarray, np.ndarray]:

@@ -82,6 +82,21 @@ class SeededKMeans(BaseClusterer):
         constraints: ConstraintSet | None = None,
         seed_labels: dict[int, int] | None = None,
     ) -> "SeededKMeans":
+        """Cluster ``X`` initialised from a partial labelling.
+
+        Parameters
+        ----------
+        X:
+            ``(n, d)`` data matrix.
+        constraints:
+            Accepted for interface compatibility; the must-link components
+            of their transitive closure are converted into seed groups.
+        seed_labels:
+            ``{object index: class}`` partial labelling — the primary side
+            information of the seeded family.  Seed classes initialise the
+            centroids (and, for :class:`ConstrainedKMeans`, clamp their
+            objects' assignments).
+        """
         X = check_array_2d(X)
         n_clusters = check_positive_int(self.n_clusters, name="n_clusters")
         if n_clusters > X.shape[0]:

@@ -1,0 +1,251 @@
+"""Unit tests for the kernel micro-benchmark suite and its regression gate."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import bench_kernels
+from repro.cli.main import main
+
+
+@pytest.fixture(scope="module")
+def small_record():
+    """A real (tiny) benchmark run shared by the record-shape tests."""
+    return bench_kernels.run_bench_kernels(("small",), rounds=1)
+
+
+class TestRunBenchKernels:
+    def test_record_shape_and_parity_flags(self, small_record):
+        assert small_record["kind"] == "repro-bench-kernels"
+        assert small_record["sizes"] == {"small": bench_kernels.KERNEL_BENCH_SIZES["small"]}
+        for kernel in bench_kernels.KERNEL_NAMES:
+            entry = small_record["results"][kernel]["small"]
+            assert entry["parity"] is True
+            assert entry["reference_s"] > 0 and entry["vectorized_s"] > 0
+            assert entry["speedup"] == entry["reference_s"] / entry["vectorized_s"]
+
+    def test_unknown_size_rejected(self):
+        with pytest.raises(ValueError, match="unknown size"):
+            bench_kernels.run_bench_kernels(("huge",))
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            bench_kernels.run_bench_kernels(("small",), kernels=("fft",))
+
+    def test_make_cases_is_deterministic(self):
+        first = bench_kernels.make_cases(60)
+        second = bench_kernels.make_cases(60)
+        for kernel in bench_kernels.KERNEL_NAMES:
+            a, b = first[kernel].vectorized(), second[kernel].vectorized()
+            if kernel == "optics":
+                assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+            elif kernel == "fosc":
+                assert a[0] == b[0] and np.array_equal(a[1], b[1]) and a[2] == b[2]
+            else:
+                assert np.array_equal(a, b)
+
+    def test_parity_assertion_detects_divergence(self):
+        case = bench_kernels.KernelBenchCase(
+            "broken", lambda: 1, lambda: 2, lambda a, b: a == b
+        )
+        with pytest.raises(RuntimeError, match="diverged"):
+            case.assert_parity()
+
+
+class TestNormalizeAndCompare:
+    def _baseline(self, vectorized_s, floors=None):
+        return {
+            "bench_kernels": {
+                "vectorized_s": vectorized_s,
+                "speedup_floor": floors or {},
+            }
+        }
+
+    def _fresh(self, vectorized_s, speedup=5.0, parity=True):
+        return {
+            kernel: {
+                size: {
+                    "reference_s": value * speedup,
+                    "vectorized_s": value,
+                    "speedup": speedup,
+                    "parity": parity,
+                }
+                for size, value in sizes.items()
+            }
+            for kernel, sizes in vectorized_s.items()
+        }
+
+    def test_unrecognised_record_rejected(self):
+        with pytest.raises(ValueError, match="repro-bench-kernels"):
+            bench_kernels.normalize_record({"kind": "something-else"})
+
+    def test_matching_record_passes(self):
+        baseline = self._baseline({"optics": {"small": 0.01}})
+        fresh = self._fresh({"optics": {"small": 0.01}})
+        assert bench_kernels.compare_records(fresh, baseline) == []
+
+    def test_missing_baseline_section_reported(self):
+        problems = bench_kernels.compare_records({}, {})
+        assert problems and "bench_kernels" in problems[0]
+
+    def test_slowdown_beyond_budget_reported(self):
+        baseline = self._baseline({"optics": {"small": 0.01}})
+        fresh = self._fresh({"optics": {"small": 0.02}})
+        problems = bench_kernels.compare_records(fresh, baseline, max_slowdown=0.25)
+        assert len(problems) == 1 and "+100%" in problems[0]
+
+    def test_faster_than_baseline_is_fine(self):
+        baseline = self._baseline({"optics": {"small": 0.01}})
+        fresh = self._fresh({"optics": {"small": 0.001}})
+        assert bench_kernels.compare_records(fresh, baseline) == []
+
+    def test_missing_kernel_and_size_reported(self):
+        baseline = self._baseline({"optics": {"small": 0.01, "large": 0.1}})
+        fresh = self._fresh({"optics": {"small": 0.01}})
+        problems = bench_kernels.compare_records(fresh, baseline)
+        assert any("optics/large" in problem for problem in problems)
+        problems = bench_kernels.compare_records({}, baseline)
+        assert any("missing from the fresh record" in problem for problem in problems)
+
+    def test_deliberate_size_subset_gates_only_covered_sizes(self):
+        baseline = self._baseline({"optics": {"small": 0.01, "large": 0.1}})
+        fresh = self._fresh({"optics": {"small": 0.01}})
+        assert bench_kernels.compare_records(
+            fresh, baseline, expected_sizes=("small",)
+        ) == []
+
+    def test_parity_mismatch_reported(self):
+        baseline = self._baseline({"optics": {"small": 0.01}})
+        fresh = self._fresh({"optics": {"small": 0.01}}, parity=False)
+        problems = bench_kernels.compare_records(fresh, baseline)
+        assert any("parity" in problem for problem in problems)
+
+    def test_speedup_floor_gates_the_ratio(self):
+        baseline = self._baseline({"optics": {"small": 0.01}}, floors={"optics": 3.0})
+        slow = self._fresh({"optics": {"small": 0.01}}, speedup=2.0)
+        problems = bench_kernels.compare_records(slow, baseline)
+        assert any("below the baseline floor" in problem for problem in problems)
+        fast = self._fresh({"optics": {"small": 0.01}}, speedup=4.0)
+        assert bench_kernels.compare_records(fast, baseline) == []
+
+    def test_format_table_mentions_every_kernel(self, small_record):
+        table = bench_kernels.format_kernel_table(
+            bench_kernels.normalize_record(small_record)
+        )
+        for kernel in bench_kernels.KERNEL_NAMES:
+            assert kernel in table
+
+
+class TestCommittedBaseline:
+    def test_baseline_file_schema(self):
+        from pathlib import Path
+
+        baseline = json.loads(
+            (Path(__file__).resolve().parent.parent / "BENCH_kernels.json").read_text()
+        )
+        section = baseline[bench_kernels.BASELINE_SECTION]
+        for key in ("protocol", "recorded_on", "sizes", "reference_s",
+                    "vectorized_s", "speedup", "speedup_floor"):
+            assert key in section, f"baseline missing {key!r}"
+        for kernel in bench_kernels.KERNEL_NAMES:
+            assert set(section["vectorized_s"][kernel]) == set(bench_kernels.KERNEL_BENCH_SIZES)
+            assert kernel in section["speedup_floor"]
+        # The acceptance property the PR records: at the largest size at
+        # least three of the four kernels exceeded 3x.
+        large_speedups = [section["speedup"][kernel]["large"]
+                         for kernel in bench_kernels.KERNEL_NAMES]
+        assert sum(speedup >= 3.0 for speedup in large_speedups) >= 3
+
+
+class TestBenchKernelsCli:
+    def _write_record(self, tmp_path, **overrides):
+        record = bench_kernels.run_bench_kernels(("small",), rounds=1)
+        record.update(overrides)
+        path = tmp_path / "fresh.json"
+        path.write_text(json.dumps(record))
+        return path, record
+
+    def test_compare_against_self_baseline(self, tmp_path, capsys):
+        path, record = self._write_record(tmp_path)
+        baseline = {
+            "bench_kernels": {
+                "vectorized_s": {
+                    kernel: {"small": entry["small"]["vectorized_s"]}
+                    for kernel, entry in record["results"].items()
+                },
+                "speedup_floor": {},
+            }
+        }
+        baseline_path = tmp_path / "baseline.json"
+        baseline_path.write_text(json.dumps(baseline))
+        code = main(["bench", "kernels", "--compare", str(path),
+                     "--baseline", str(baseline_path), "--max-slowdown", "0.5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "within baseline" in out
+
+    def test_compare_detects_regression(self, tmp_path, capsys):
+        path, record = self._write_record(tmp_path)
+        baseline = {
+            "bench_kernels": {
+                "vectorized_s": {
+                    kernel: {"small": entry["small"]["vectorized_s"] / 10.0}
+                    for kernel, entry in record["results"].items()
+                },
+                "speedup_floor": {},
+            }
+        }
+        baseline_path = tmp_path / "baseline.json"
+        baseline_path.write_text(json.dumps(baseline))
+        code = main(["bench", "kernels", "--compare", str(path),
+                     "--baseline", str(baseline_path)])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "regression detected" in err
+
+    def test_json_and_compare_conflict(self, tmp_path, capsys):
+        code = main(["bench", "kernels", "--compare", "x.json", "--json", "y.json"])
+        assert code == 2
+        assert "cannot be combined" in capsys.readouterr().err
+
+    def test_flags_before_the_kernels_token_are_honoured(self, tmp_path, capsys):
+        """Parent-parsed flags must not be clobbered by subparser defaults."""
+        out_path = tmp_path / "record.json"
+        code = main(["bench", "--rounds", "2", "--json", str(out_path),
+                     "kernels", "--sizes", "small"])
+        assert code == 0
+        record = json.loads(out_path.read_text())
+        entry = record["results"]["optics"]["small"]
+        assert entry["rounds"] == 2
+
+    def test_truncated_record_is_a_clean_usage_error(self, tmp_path, capsys):
+        path = tmp_path / "truncated.json"
+        path.write_text(json.dumps({"kind": "repro-bench-kernels"}))
+        code = main(["bench", "kernels", "--compare", str(path)])
+        assert code == 2
+        assert "missing its 'results' section" in capsys.readouterr().err
+
+    def test_malformed_fresh_entry_reported_not_raised(self):
+        baseline = {
+            "bench_kernels": {
+                "vectorized_s": {"optics": {"small": 0.01}},
+                "speedup_floor": {},
+            }
+        }
+        fresh = {"optics": {"small": {"parity": True}}}
+        problems = bench_kernels.compare_records(fresh, baseline)
+        assert any("malformed fresh entry" in problem for problem in problems)
+
+    def test_unknown_size_exit_code(self, capsys):
+        code = main(["bench", "kernels", "--sizes", "planetary"])
+        assert code == 2
+        assert "unknown size" in capsys.readouterr().err
+
+    def test_live_run_writes_record(self, tmp_path, capsys):
+        out_path = tmp_path / "record.json"
+        code = main(["bench", "kernels", "--sizes", "small", "--json", str(out_path)])
+        assert code == 0
+        record = json.loads(out_path.read_text())
+        assert record["kind"] == "repro-bench-kernels"
+        assert "speedup" in capsys.readouterr().out

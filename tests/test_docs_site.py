@@ -89,6 +89,7 @@ class TestMkdocstringsDirectives:
             "repro.constraints.oracles",
             "repro.core.cvcp",
             "repro.core.executor",
+            "repro.clustering.kernels",
             "repro.experiments.robustness",
             "repro.experiments.artifacts",
             "repro.experiments.pipeline",
@@ -125,8 +126,32 @@ class TestSchemaDocsInSync:
     def test_every_cli_command_is_documented(self):
         cli_page = (DOCS_DIR / "cli.md").read_text(encoding="utf-8")
         for command in ("repro run", "repro report", "repro bench",
-                        "repro datasets list", "repro validate-config"):
+                        "repro bench kernels", "repro datasets list",
+                        "repro validate-config"):
             assert command in cli_page
+
+    def test_performance_page_documents_the_kernel_subsystem(self):
+        from repro.cli.bench_kernels import KERNEL_NAMES
+        from repro.clustering.kernels import KERNEL_MODES, KERNELS_ENV_VAR
+
+        performance_page = (DOCS_DIR / "performance.md").read_text(encoding="utf-8")
+        for kernel in KERNEL_NAMES:
+            assert f"`{kernel}`" in performance_page, f"kernel {kernel} undocumented"
+        for mode in KERNEL_MODES:
+            assert mode in performance_page
+        assert KERNELS_ENV_VAR in performance_page
+        assert "BENCH_kernels.json" in performance_page
+        assert "repro bench kernels" in performance_page
+        # The tuning axes the guide promises to cover.
+        for axis in ("backend", "n_jobs", "cache"):
+            assert axis in performance_page
+
+    def test_architecture_page_covers_oracles_and_kernels(self):
+        architecture_page = (DOCS_DIR / "architecture.md").read_text(encoding="utf-8")
+        assert "repro.constraints.oracles" in architecture_page
+        assert "repro.clustering.kernels" in architecture_page
+        assert "queried per trial" in architecture_page  # the post-PR-3 oracle flow
+        assert "Kernels" in architecture_page  # the component diagram row
 
     def test_example_configs_referenced_from_docs_exist(self):
         text = "\n".join(page.read_text(encoding="utf-8") for page in _docs_pages())
