@@ -1,0 +1,39 @@
+"""Distance-backend parity smoke for the scale benchmark (CI-friendly).
+
+The full ``repro bench scale`` run measures wall-clock and peak RSS at up
+to n=10000 in fresh subprocesses; this module asserts the *correctness*
+half of its contract at CI-smoke sizes: bit-identical labels across the
+dense/blockwise/memmap distance backends and across the
+serial/thread/process executors.  Run with ``--benchmark-disable`` for a
+pure parity check (what CI's bench-smoke job does).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import bench_scale as bench_scale_module
+from repro.clustering.fosc import FOSCOpticsDend
+from repro.core.distance_backend import DISTANCE_BACKENDS
+from repro.utils.cache import clear_distance_cache
+
+
+def test_distance_backend_label_parity_multi_panel():
+    """All three tiers agree bitwise at a size spanning multiple panels."""
+    digest = bench_scale_module.assert_distance_backend_parity()
+    assert digest
+
+
+def test_executor_modes_agree_under_every_distance_backend():
+    bench_scale_module.assert_executor_parity(n_samples=120)
+
+
+@pytest.mark.parametrize("backend", DISTANCE_BACKENDS)
+def test_scale_workload_is_deterministic_per_backend(backend):
+    dataset = bench_scale_module.scale_dataset(240)
+    clear_distance_cache()
+    first = FOSCOpticsDend(min_pts=5, distance_backend=backend).fit(dataset.X).labels_
+    clear_distance_cache()
+    second = FOSCOpticsDend(min_pts=5, distance_backend=backend).fit(dataset.X).labels_
+    assert np.array_equal(first, second)

@@ -12,6 +12,8 @@ import numpy as np
 
 from repro.cli import bench as bench_module
 from repro.cli import bench_kernels as bench_kernels_module
+from repro.cli import bench_scale as bench_scale_module
+from repro.core.distance_backend import DISTANCE_BACKENDS
 from repro.core.executor import BACKENDS
 from repro.datasets.registry import DATASET_NAMES, get_dataset
 from repro.experiments.artifacts import ArtifactStore
@@ -176,6 +178,86 @@ def build_parser() -> argparse.ArgumentParser:
         help="allowed fractional vectorized-wall-clock slowdown vs baseline (default: 0.25)",
     )
 
+    scale_parser = bench_subparsers.add_parser(
+        "scale",
+        help="benchmark the distance backends at large n (wall-clock + peak RSS)",
+        description=(
+            "Time one full density-clustering fit per (distance backend × problem size) "
+            "cell, each in a fresh subprocess with a cold spill directory, recording "
+            "wall-clock and peak RSS. Label bit-identity across backends and across the "
+            "serial/thread/process executors is asserted before any timing is recorded. "
+            "Optionally gate the record against the committed BENCH_scale.json baseline "
+            "(exit 1 on a parity mismatch, a wall-clock slowdown beyond --max-slowdown, "
+            "an RSS growth beyond --rss-slack, or a memmap cell above the memory budget)."
+        ),
+    )
+    # This subparser deliberately uses its own dests (scale_*): the parent
+    # ``bench`` parser's --backends/--json/... defaults would otherwise be
+    # indistinguishable from user input on the shared namespace.
+    scale_parser.add_argument(
+        "--backends",
+        dest="scale_backends",
+        default=",".join(DISTANCE_BACKENDS),
+        help=f"comma-separated distance backends to run (default: {','.join(DISTANCE_BACKENDS)})",
+    )
+    scale_parser.add_argument(
+        "--sizes",
+        dest="scale_sizes",
+        default=None,
+        help=(
+            "comma-separated sizes to run for every backend "
+            f"(choices: {','.join(bench_scale_module.SCALE_SIZES)}; default: the "
+            "per-backend schedule — dense/blockwise up to n5000, memmap up to n10000)"
+        ),
+    )
+    scale_parser.add_argument(
+        "--rounds",
+        dest="scale_rounds",
+        type=int,
+        default=1,
+        help="timing rounds per cell; best wall-clock is kept (default: 1)",
+    )
+    scale_parser.add_argument(
+        "--parity-only",
+        action="store_true",
+        help="assert backend and executor parity, skip the timed cells (CI smoke)",
+    )
+    scale_parser.add_argument(
+        "--json",
+        dest="scale_json",
+        metavar="PATH",
+        default=None,
+        help="write the fresh record to PATH",
+    )
+    scale_parser.add_argument(
+        "--compare",
+        dest="scale_compare",
+        metavar="FRESH",
+        default=None,
+        help="load a fresh scale record instead of running the benchmark",
+    )
+    scale_parser.add_argument(
+        "--baseline",
+        dest="scale_baseline",
+        metavar="PATH",
+        default=None,
+        help="baseline JSON to gate against (e.g. BENCH_scale.json)",
+    )
+    scale_parser.add_argument(
+        "--max-slowdown",
+        dest="scale_max_slowdown",
+        type=float,
+        default=0.25,
+        help="allowed fractional wall-clock slowdown vs baseline (default: 0.25)",
+    )
+    scale_parser.add_argument(
+        "--rss-slack",
+        dest="scale_rss_slack",
+        type=float,
+        default=0.35,
+        help="allowed fractional peak-RSS growth vs baseline (default: 0.35)",
+    )
+
     datasets_parser = subparsers.add_parser("datasets", help="inspect the data-set registry")
     datasets_subparsers = datasets_parser.add_subparsers(dest="datasets_command", required=True)
     datasets_subparsers.add_parser("list", help="list registered data sets with their shapes")
@@ -202,6 +284,14 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
         help="override the execution backend (results are bit-identical across backends)",
     )
     parser.add_argument("--n-jobs", type=int, help="override the worker count")
+    parser.add_argument(
+        "--distance-backend",
+        choices=DISTANCE_BACKENDS,
+        help=(
+            "override the distance-matrix storage tier "
+            "(results are bit-identical across tiers)"
+        ),
+    )
 
 
 def _command_run(args: argparse.Namespace, *, reports_only: bool = False) -> int:
@@ -217,7 +307,13 @@ def _command_run(args: argparse.Namespace, *, reports_only: bool = False) -> int
         spec = spec.with_overrides(artifacts_root=Path(args.artifacts_root))
     refresh = bool(getattr(args, "force", False))
     store = ArtifactStore(spec.artifacts_root, refresh=refresh)
-    result = run_pipeline(spec, store=store, backend=args.backend, n_jobs=args.n_jobs)
+    result = run_pipeline(
+        spec,
+        store=store,
+        backend=args.backend,
+        n_jobs=args.n_jobs,
+        distance_backend=args.distance_backend,
+    )
 
     quiet = bool(getattr(args, "quiet", False)) or reports_only
     if not quiet:
@@ -286,9 +382,83 @@ def _command_bench_kernels(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_bench_scale(args: argparse.Namespace) -> int:
+    expected_cells = None
+    if args.scale_compare:
+        if args.scale_json:
+            print(
+                "--json records a live benchmark run and cannot be combined with --compare "
+                "(the fresh record already exists on disk)",
+                file=sys.stderr,
+            )
+            return 2
+        record = bench_scale_module.load_json(args.scale_compare)
+    else:
+        backends = tuple(name.strip() for name in args.scale_backends.split(",") if name.strip())
+        sizes = None
+        if args.scale_sizes:
+            sizes = tuple(name.strip() for name in args.scale_sizes.split(",") if name.strip())
+        if args.parity_only:
+            try:
+                bench_scale_module.assert_distance_backend_parity()
+                bench_scale_module.assert_executor_parity()
+            except (RuntimeError, ValueError) as exc:
+                print(exc, file=sys.stderr)
+                return 1
+            print("distance-backend and executor parity ok (labels bit-identical)")
+            return 0
+        # A deliberate subset run is gated only on the cells it covers.
+        if sizes is not None:
+            expected_cells = {backend: sizes for backend in backends}
+        else:
+            expected_cells = {
+                backend: bench_scale_module.DEFAULT_CELLS.get(backend, ()) for backend in backends
+            }
+        try:
+            record = bench_scale_module.run_bench_scale(backends, sizes, rounds=args.scale_rounds)
+        except (RuntimeError, ValueError) as exc:
+            print(exc, file=sys.stderr)
+            return 2 if isinstance(exc, ValueError) else 1
+        if args.scale_json:
+            Path(args.scale_json).write_text(
+                json.dumps(record, sort_keys=True, indent=2) + "\n",
+                encoding="utf-8",
+            )
+            print(f"wrote {args.scale_json}")
+
+    try:
+        fresh = bench_scale_module.normalize_record(record)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    baseline = bench_scale_module.load_json(args.scale_baseline) if args.scale_baseline else None
+    print(bench_scale_module.format_scale_table(fresh, baseline))
+
+    if baseline is not None:
+        problems = bench_scale_module.compare_records(
+            fresh,
+            baseline,
+            max_slowdown=args.scale_max_slowdown,
+            rss_slack=args.scale_rss_slack,
+            expected_cells=expected_cells,
+        )
+        if problems:
+            print("scale benchmark regression detected:", file=sys.stderr)
+            for problem in problems:
+                print(f"  - {problem}", file=sys.stderr)
+            return 1
+        print(
+            f"scale benchmark within baseline (max slowdown {args.scale_max_slowdown:.0%}, "
+            f"RSS slack {args.scale_rss_slack:.0%})"
+        )
+    return 0
+
+
 def _command_bench(args: argparse.Namespace) -> int:
     if getattr(args, "bench_target", None) == "kernels":
         return _command_bench_kernels(args)
+    if getattr(args, "bench_target", None) == "scale":
+        return _command_bench_scale(args)
     expected_backends = None
     if args.compare:
         if args.json_out:

@@ -34,6 +34,11 @@ class AgglomerativeClustering(BaseClusterer):
         ``"single"``, ``"complete"`` or ``"average"``.
     metric:
         Distance metric for the initial dissimilarity matrix.
+    distance_backend:
+        Storage tier for the initial matrix (see
+        :mod:`repro.core.distance_backend`).  The Lance–Williams update
+        mutates a dense in-RAM working copy regardless, so non-dense tiers
+        only bound the *initial* matrix computation here.
 
     Attributes
     ----------
@@ -51,11 +56,13 @@ class AgglomerativeClustering(BaseClusterer):
         *,
         linkage: str = "average",
         metric: str = "euclidean",
+        distance_backend: str | None = None,
         random_state: RandomStateLike = None,
     ) -> None:
         self.n_clusters = n_clusters
         self.linkage = linkage
         self.metric = metric
+        self.distance_backend = distance_backend
         self.random_state = random_state
 
     def fit(
@@ -75,7 +82,9 @@ class AgglomerativeClustering(BaseClusterer):
                 f"n_clusters={n_clusters} exceeds the number of samples {n_samples}"
             )
 
-        distances = cached_pairwise_distances(X, metric=self.metric)
+        distances = cached_pairwise_distances(
+            X, metric=self.metric, distance_backend=self.distance_backend
+        )
         self.merge_tree_, merge_members = self._build_dendrogram(distances)
         self.labels_ = self._cut(merge_members, n_samples, n_clusters)
         return self

@@ -1,19 +1,64 @@
 """Distance computations shared by the clustering algorithms.
 
-Everything is computed with dense numpy operations; the data sets in the
-paper are small (at most a few hundred objects), so the O(n²) memory of a
-full distance matrix is not a concern and the vectorised formulation is the
-fastest pure-Python option.
+Distances are computed in fixed-width **row panels** (:data:`DEFAULT_BLOCK_ROWS`
+rows per panel).  The panel partition — not the storage tier — defines the
+canonical floating-point result: every distance backend (dense in-RAM,
+blockwise streaming, out-of-core memmap; see
+:mod:`repro.core.distance_backend`) performs the identical per-panel NumPy
+operations and therefore produces **bit-identical** matrices by construction.
+For ``n <= DEFAULT_BLOCK_ROWS`` (every paper-scale data set) a single panel
+covers all rows and the operation sequence is exactly the historical
+full-matrix formulation, so small-``n`` results are bit-compatible with
+earlier releases; for larger ``n`` the BLAS cross-product runs per panel,
+which can differ from a whole-matrix GEMM in the last ulp (see
+``docs/determinism.md`` for this one-time break and its precedents).
+
+Inputs are accepted as they come: C-contiguous ``float64`` matrices are used
+in place (no hidden copy — regression-tested), non-contiguous views are
+consumed without materialising a contiguous copy, and other dtypes are
+converted to ``float64`` exactly once.
 """
 
 from __future__ import annotations
+
+from typing import Callable
 
 import numpy as np
 
 from repro.utils.validation import check_array_2d
 
+#: Canonical row-panel width.  All distance backends compute pairwise
+#: matrices in panels of this many rows, which is what makes the tiers
+#: bit-identical: the BLAS cross-product is always invoked on the same
+#: operand blocks regardless of how (or where) the output is stored.
+DEFAULT_BLOCK_ROWS = 512
 
-def euclidean_distances(X: np.ndarray, Y: np.ndarray | None = None, *, squared: bool = False) -> np.ndarray:
+
+def _resolve_block_rows(block_rows: int | None) -> int:
+    if block_rows is None:
+        return DEFAULT_BLOCK_ROWS
+    if block_rows < 1:
+        raise ValueError(f"block_rows must be >= 1, got {block_rows}")
+    return int(block_rows)
+
+
+def _as_float64(array: np.ndarray) -> np.ndarray:
+    """``float64`` view when possible, one explicit conversion otherwise."""
+    array = np.asarray(array)
+    if array.dtype == np.float64:
+        return array
+    return array.astype(np.float64)
+
+
+def euclidean_distances(
+    X: np.ndarray,
+    Y: np.ndarray | None = None,
+    *,
+    squared: bool = False,
+    out: np.ndarray | None = None,
+    block_rows: int | None = None,
+    panel_done: Callable[[int, int], None] | None = None,
+) -> np.ndarray:
     """Pairwise Euclidean distances between the rows of ``X`` and ``Y``.
 
     Parameters
@@ -24,54 +69,120 @@ def euclidean_distances(X: np.ndarray, Y: np.ndarray | None = None, *, squared: 
         ``(m, d)`` array; defaults to ``X``.
     squared:
         If true, return squared distances (saves the square root).
+    out:
+        Optional ``(n, m)`` float64 output to fill (an in-RAM array or a
+        writable ``np.memmap``); allocated when omitted.
+    block_rows:
+        Row-panel width; defaults to :data:`DEFAULT_BLOCK_ROWS`.  The panel
+        partition defines the canonical float result — pass the default to
+        stay bit-compatible with every distance backend.
+    panel_done:
+        Optional callback invoked as ``panel_done(start, stop)`` after each
+        panel is written to ``out`` (the memmap backend uses it to flush
+        and drop dirty pages incrementally).
 
     Returns
     -------
     ndarray
         ``(n, m)`` distance matrix.
     """
-    X = np.asarray(X, dtype=np.float64)
-    Y = X if Y is None else np.asarray(Y, dtype=np.float64)
-    x_sq = np.einsum("ij,ij->i", X, X)
+    X = _as_float64(X)
+    self_distances = Y is None or Y is X
+    Y = X if self_distances else _as_float64(Y)
+    block = _resolve_block_rows(block_rows)
+    n, m = X.shape[0], Y.shape[0]
+    if out is None:
+        out = np.empty((n, m), dtype=np.float64)
     y_sq = np.einsum("ij,ij->i", Y, Y)
-    cross = X @ Y.T
-    squared_distances = x_sq[:, None] + y_sq[None, :] - 2.0 * cross
-    # Numerical noise can push tiny distances slightly negative.
-    np.maximum(squared_distances, 0.0, out=squared_distances)
-    if Y is X:
-        np.fill_diagonal(squared_distances, 0.0)
-    if squared:
-        return squared_distances
-    return np.sqrt(squared_distances, out=squared_distances)
+    for start in range(0, n, block):
+        stop = min(start + block, n)
+        rows = X[start:stop]
+        x_sq = y_sq[start:stop] if self_distances else np.einsum("ij,ij->i", rows, rows)
+        cross = rows @ Y.T
+        panel = x_sq[:, None] + y_sq[None, :] - 2.0 * cross
+        # Numerical noise can push tiny distances slightly negative.
+        np.maximum(panel, 0.0, out=panel)
+        if self_distances:
+            panel[np.arange(stop - start), np.arange(start, stop)] = 0.0
+        if not squared:
+            np.sqrt(panel, out=panel)
+        out[start:stop] = panel
+        if panel_done is not None:
+            panel_done(start, stop)
+    return out
 
 
-def pairwise_distances(X: np.ndarray, metric: str = "euclidean") -> np.ndarray:
+def _manhattan_panel(rows: np.ndarray, Y: np.ndarray) -> np.ndarray:
+    return np.abs(rows[:, None, :] - Y[None, :, :]).sum(axis=2)
+
+
+def pairwise_distances(
+    X: np.ndarray,
+    metric: str = "euclidean",
+    *,
+    out: np.ndarray | None = None,
+    block_rows: int | None = None,
+    panel_done: Callable[[int, int], None] | None = None,
+) -> np.ndarray:
     """Full ``(n, n)`` distance matrix for the rows of ``X``.
 
     Parameters
     ----------
     X:
-        ``(n, d)`` data matrix.
+        ``(n, d)`` data matrix.  Accepted as-is: C-contiguous ``float64``
+        input is never copied, non-contiguous views are consumed without a
+        hidden contiguous copy, and other dtypes (e.g. ``float32``) are
+        upcast exactly once.
     metric:
         ``"euclidean"`` (default), ``"sqeuclidean"``, ``"manhattan"`` or
         ``"cosine"``.
+    out:
+        Optional ``(n, n)`` float64 output to fill (RAM or ``np.memmap``).
+    block_rows:
+        Row-panel width (see :data:`DEFAULT_BLOCK_ROWS`); panelling also
+        bounds the per-metric temporaries — notably Manhattan's former
+        ``(n, n, d)`` broadcast intermediate is now ``(block, n, d)``.
+    panel_done:
+        Optional per-panel callback ``panel_done(start, stop)`` (see
+        :func:`euclidean_distances`).
     """
     X = check_array_2d(X)
-    if metric == "euclidean":
-        return euclidean_distances(X)
-    if metric == "sqeuclidean":
-        return euclidean_distances(X, squared=True)
+    n = X.shape[0]
+    block = _resolve_block_rows(block_rows)
+    if out is None:
+        out = np.empty((n, n), dtype=np.float64)
+    elif out.shape != (n, n):
+        raise ValueError(f"out must have shape {(n, n)}, got {out.shape}")
+
+    if metric in ("euclidean", "sqeuclidean"):
+        return euclidean_distances(
+            X, squared=metric == "sqeuclidean", out=out, block_rows=block,
+            panel_done=panel_done,
+        )
     if metric == "manhattan":
-        return np.abs(X[:, None, :] - X[None, :, :]).sum(axis=2)
+        for start in range(0, n, block):
+            stop = min(start + block, n)
+            out[start:stop] = _manhattan_panel(X[start:stop], X)
+            if panel_done is not None:
+                panel_done(start, stop)
+        return out
     if metric == "cosine":
         norms = np.linalg.norm(X, axis=1)
         norms = np.where(norms == 0.0, 1.0, norms)
         normalised = X / norms[:, None]
-        similarity = np.clip(normalised @ normalised.T, -1.0, 1.0)
-        distances = 1.0 - similarity
-        np.fill_diagonal(distances, 0.0)
-        return distances
+        for start in range(0, n, block):
+            stop = min(start + block, n)
+            similarity = np.clip(normalised[start:stop] @ normalised.T, -1.0, 1.0)
+            panel = 1.0 - similarity
+            panel[np.arange(stop - start), np.arange(start, stop)] = 0.0
+            out[start:stop] = panel
+            if panel_done is not None:
+                panel_done(start, stop)
+        return out
     raise ValueError(f"unknown metric {metric!r}")
+
+#: Metrics accepted by :func:`pairwise_distances`.
+PAIRWISE_METRICS = ("euclidean", "sqeuclidean", "manhattan", "cosine")
 
 
 def diagonal_mahalanobis_distances(
@@ -126,16 +237,42 @@ def weighted_squared_distance(x: np.ndarray, y: np.ndarray, weights: np.ndarray)
     return float(np.dot(diff * np.asarray(weights, dtype=np.float64), diff))
 
 
-def k_nearest_distances(distance_matrix: np.ndarray, k: int) -> np.ndarray:
+def k_nearest_distances(
+    distance_matrix: np.ndarray, k: int, *, block_rows: int | None = None
+) -> np.ndarray:
     """Distance to the ``k``-th nearest neighbour for every object.
 
     The object itself is counted as its own 1st neighbour (distance 0), so
     ``k_nearest_distances(D, min_pts)`` yields exactly the OPTICS/HDBSCAN
     core distance for ``MinPts = k``.
+
+    Parameters
+    ----------
+    distance_matrix:
+        ``(n, n)`` distance matrix (an in-RAM array or a read-only
+        ``np.memmap``).
+    k:
+        Neighbour rank, ``1 <= k <= n``.
+    block_rows:
+        When given, the row-wise partition runs block-at-a-time so the
+        peak temporary is ``(block_rows, n)`` instead of the full-matrix
+        copy ``np.partition`` makes.  Results are bit-identical either way
+        (the selection is independent per row); the streaming variant is
+        what the blockwise/memmap distance backends use.
     """
-    distance_matrix = np.asarray(distance_matrix, dtype=np.float64)
+    # Plain asarray: zero-copy for any ndarray/memmap, converts array-likes.
+    distance_matrix = np.asarray(distance_matrix)
     n = distance_matrix.shape[0]
     if not 1 <= k <= n:
         raise ValueError(f"k must be in [1, {n}], got {k}")
-    partitioned = np.partition(distance_matrix, k - 1, axis=1)
-    return partitioned[:, k - 1]
+    if block_rows is None:
+        distance_matrix = np.asarray(distance_matrix, dtype=np.float64)
+        partitioned = np.partition(distance_matrix, k - 1, axis=1)
+        return partitioned[:, k - 1]
+    block = _resolve_block_rows(block_rows)
+    core = np.empty(n, dtype=np.float64)
+    for start in range(0, n, block):
+        stop = min(start + block, n)
+        rows = np.asarray(distance_matrix[start:stop], dtype=np.float64)
+        core[start:stop] = np.partition(rows, k - 1, axis=1)[:, k - 1]
+    return core

@@ -235,6 +235,11 @@ class FOSCOpticsDend(BaseClusterer):
         extraction — ``"vectorized"`` (default) or ``"reference"``;
         ``None`` consults ``REPRO_KERNELS``.  Results are bit-identical
         either way; see :mod:`repro.clustering.kernels`.
+    distance_backend:
+        Storage tier for the distance matrices — ``"dense"`` (default),
+        ``"blockwise"`` or ``"memmap"``; ``None`` consults
+        ``REPRO_DISTANCE_BACKEND``.  All tiers produce bit-identical
+        labels; see :mod:`repro.core.distance_backend`.
 
     Attributes
     ----------
@@ -257,6 +262,7 @@ class FOSCOpticsDend(BaseClusterer):
         stability_weight: float = 1e-3,
         metric: str = "euclidean",
         kernels: str | None = None,
+        distance_backend: str | None = None,
         random_state: RandomStateLike = None,
     ) -> None:
         self.min_pts = min_pts
@@ -264,6 +270,7 @@ class FOSCOpticsDend(BaseClusterer):
         self.stability_weight = stability_weight
         self.metric = metric
         self.kernels = kernels
+        self.distance_backend = distance_backend
         self.random_state = random_state
 
     def fit(
@@ -289,6 +296,7 @@ class FOSCOpticsDend(BaseClusterer):
             min_cluster_size=self.min_cluster_size,
             metric=self.metric,
             kernels=self.kernels,
+            distance_backend=self.distance_backend,
         ).fit(X)
         fosc = FOSC(stability_weight=self.stability_weight)
         selection = fosc.extract(hierarchy.condensed_tree_, constraints)

@@ -31,22 +31,52 @@ from repro.utils.cache import cached_pairwise_distances
 from repro.utils.validation import check_array_2d, check_positive_int
 
 
-def mutual_reachability(distances: np.ndarray, core_distances: np.ndarray) -> np.ndarray:
+def mutual_reachability(
+    distances: np.ndarray,
+    core_distances: np.ndarray,
+    *,
+    out: np.ndarray | None = None,
+    block_rows: int | None = None,
+) -> np.ndarray:
     """Mutual reachability distance matrix.
 
     Parameters
     ----------
     distances:
-        ``(n, n)`` raw distance matrix.
+        ``(n, n)`` raw distance matrix (in-RAM or memmap).
     core_distances:
         ``(n,)`` core distance per object.
+    out:
+        Optional ``(n, n)`` float64 output (e.g. a
+        :meth:`~repro.core.distance_backend.DistanceBackend.derived_matrix`
+        spill) to fill instead of allocating.
+    block_rows:
+        When given, the transform streams in row blocks with a bounded
+        working set instead of materialising full-matrix temporaries.  The
+        per-entry operations are identical, so all variants are
+        bit-identical.
     """
-    distances = np.asarray(distances, dtype=np.float64)
     core_distances = np.asarray(core_distances, dtype=np.float64)
-    mreach = np.maximum(distances, core_distances[:, None])
-    np.maximum(mreach, core_distances[None, :], out=mreach)
-    np.fill_diagonal(mreach, 0.0)
-    return mreach
+    if out is None and block_rows is None:
+        distances = np.asarray(distances, dtype=np.float64)
+        mreach = np.maximum(distances, core_distances[:, None])
+        np.maximum(mreach, core_distances[None, :], out=mreach)
+        np.fill_diagonal(mreach, 0.0)
+        return mreach
+    n = core_distances.shape[0]
+    if out is None:
+        out = np.empty((n, n), dtype=np.float64)
+    block = block_rows if block_rows is not None else n
+    for start in range(0, n, block):
+        stop = min(start + block, n)
+        panel = np.maximum(
+            np.asarray(distances[start:stop], dtype=np.float64),
+            core_distances[start:stop, None],
+        )
+        np.maximum(panel, core_distances[None, :], out=panel)
+        panel[np.arange(stop - start), np.arange(start, stop)] = 0.0
+        out[start:stop] = panel
+    return out
 
 
 def minimum_spanning_tree(distances: np.ndarray, *, kernels: str | None = None) -> np.ndarray:
@@ -363,6 +393,13 @@ class DensityHierarchy:
         ``condensed_tree_`` is a :class:`CondensedTreeArrays` (same query
         API, bit-identical contents); with ``"reference"`` it is a
         :class:`CondensedTree`.
+    distance_backend:
+        Storage tier for the pairwise and mutual-reachability matrices —
+        ``"dense"`` (default, whole-matrix in RAM), ``"blockwise"``
+        (in RAM, streamed row blocks) or ``"memmap"`` (out-of-core spill
+        files); ``None`` consults ``REPRO_DISTANCE_BACKEND``.  All tiers
+        build bit-identical hierarchies; see
+        :mod:`repro.core.distance_backend`.
     """
 
     def __init__(
@@ -372,6 +409,7 @@ class DensityHierarchy:
         min_cluster_size: int | None = None,
         metric: str = "euclidean",
         kernels: str | None = None,
+        distance_backend: str | None = None,
     ) -> None:
         self.min_pts = check_positive_int(min_pts, name="min_pts")
         self.min_cluster_size = (
@@ -380,21 +418,42 @@ class DensityHierarchy:
         )
         self.metric = metric
         self.kernels = kernels
+        self.distance_backend = distance_backend
 
     def fit(self, X: np.ndarray) -> "DensityHierarchy":
         """Build the hierarchy for ``X``."""
+        from repro.core.distance_backend import get_distance_backend
+
         X = check_array_2d(X)
         if self.min_pts > X.shape[0]:
             raise ValueError(
                 f"min_pts={self.min_pts} exceeds the number of samples {X.shape[0]}"
             )
+        n_samples = X.shape[0]
         mode = _kernels.resolve_kernel_mode(self.kernels)
+        backend = get_distance_backend(self.distance_backend)
+        block = backend.block_rows(n_samples)
         # Memoised: every (value × fold) grid cell of a CVCP sweep shares the
         # same O(n²) matrix, so only the first cell per process computes it.
-        distances = cached_pairwise_distances(X, metric=self.metric)
-        self.core_distances_ = k_nearest_distances(distances, self.min_pts)
-        self.mutual_reachability_ = mutual_reachability(distances, self.core_distances_)
+        distances = cached_pairwise_distances(
+            X, metric=self.metric, distance_backend=backend.name
+        )
+        self.core_distances_ = k_nearest_distances(distances, self.min_pts, block_rows=block)
+        if block is None:
+            # Dense tier: the historical whole-matrix transform.
+            self.mutual_reachability_ = mutual_reachability(distances, self.core_distances_)
+        else:
+            # Streaming tiers: fill backend-provided storage block-at-a-time
+            # (an ephemeral spill for memmap), then drop the raw matrix's
+            # page residency — it is not read again during this fit.
+            self.mutual_reachability_ = mutual_reachability(
+                distances, self.core_distances_,
+                out=backend.derived_matrix(n_samples, "mreach"),
+                block_rows=block,
+            )
+            backend.release(distances)
         self.mst_edges_ = minimum_spanning_tree(self.mutual_reachability_, kernels=mode)
+        backend.release(self.mutual_reachability_)
         self.single_linkage_tree_ = build_single_linkage_tree(
             self.mst_edges_, X.shape[0], kernels=mode
         )

@@ -44,6 +44,20 @@ parity suite in ``tests/test_clustering_kernels.py`` drives both paths
 with adversarial inputs (duplicate points, tied distances, singleton
 clusters, empty constraint sets).
 
+Distance-matrix storage
+-----------------------
+Every kernel that consumes an ``(n, n)`` distance matrix reads it **one row
+(or one row block) at a time** and never materialises a full-matrix
+temporary: the OPTICS sweep and the Prim MST index single rows per
+iteration, and the upstream passes (core distances, mutual reachability)
+stream in row blocks under the non-dense distance backends.  The matrices
+handed in may therefore be plain in-RAM arrays *or* read-only
+``np.memmap`` views from the ``memmap`` distance backend (see
+:mod:`repro.core.distance_backend`) — NumPy indexing faults the needed
+pages in on demand and the OS can evict them under pressure, which is what
+lets the kernels run at ``n`` well past the dense-matrix RAM wall with
+bit-identical results.
+
 Kernel selection
 ----------------
 Every dispatch function takes ``kernels="vectorized" | "reference"``

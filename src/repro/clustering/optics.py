@@ -49,6 +49,11 @@ class OPTICS(BaseClusterer):
         ``REPRO_KERNELS`` environment variable.  Both produce
         bit-identical orderings and reachabilities; see
         :mod:`repro.clustering.kernels`.
+    distance_backend:
+        Storage tier for the pairwise-distance matrix — ``"dense"``
+        (default), ``"blockwise"`` or ``"memmap"``; ``None`` consults
+        ``REPRO_DISTANCE_BACKEND``.  All tiers are bit-identical; see
+        :mod:`repro.core.distance_backend`.
 
     Attributes
     ----------
@@ -74,12 +79,14 @@ class OPTICS(BaseClusterer):
         eps: float = np.inf,
         metric: str = "euclidean",
         kernels: str | None = None,
+        distance_backend: str | None = None,
         random_state: RandomStateLike = None,
     ) -> None:
         self.min_pts = min_pts
         self.eps = eps
         self.metric = metric
         self.kernels = kernels
+        self.distance_backend = distance_backend
         self.random_state = random_state
 
     def fit(
@@ -96,13 +103,24 @@ class OPTICS(BaseClusterer):
                 f"min_pts={min_pts} exceeds the number of samples {X.shape[0]}"
             )
 
-        distances = cached_pairwise_distances(X, metric=self.metric)
-        self.core_distances_ = k_nearest_distances(distances, min_pts)
+        from repro.core.distance_backend import get_distance_backend
+
+        backend = get_distance_backend(self.distance_backend)
+        distances = cached_pairwise_distances(
+            X, metric=self.metric, distance_backend=backend.name
+        )
+        # Streaming tiers compute core distances block-at-a-time, avoiding
+        # the full-matrix copy np.partition makes; results are bit-identical.
+        self.core_distances_ = k_nearest_distances(
+            distances, min_pts, block_rows=backend.block_rows(X.shape[0])
+        )
         # The sweep is one of the four hot kernels; both implementations
-        # are bit-identical (see repro.clustering.kernels).
+        # are bit-identical (see repro.clustering.kernels).  It reads the
+        # matrix one row at a time, so memmap-backed storage streams too.
         self.ordering_, self.reachability_ = optics_ordering(
             distances, self.core_distances_, self.eps, kernels=self.kernels
         )
+        backend.release(distances)
         if np.isfinite(self.eps):
             self.labels_ = self.extract_dbscan(self.eps)
         else:

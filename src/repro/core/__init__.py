@@ -36,6 +36,14 @@ from repro.core.model_selection import (
     expected_quality,
 )
 from repro.core.cvcp import CVCP, select_parameter
+from repro.core.distance_backend import (
+    DISTANCE_BACKENDS,
+    DistanceBackend,
+    clear_spill_directory,
+    get_distance_backend,
+    resolve_distance_backend,
+    spill_directory,
+)
 from repro.core.executor import (
     BACKENDS,
     Executor,
@@ -71,6 +79,12 @@ __all__ = [
     "expected_quality",
     "CVCP",
     "select_parameter",
+    "DISTANCE_BACKENDS",
+    "DistanceBackend",
+    "clear_spill_directory",
+    "get_distance_backend",
+    "resolve_distance_backend",
+    "spill_directory",
     "BACKENDS",
     "Executor",
     "ProcessExecutor",

@@ -25,6 +25,7 @@ import numpy as np
 from repro.clustering.base import BaseClusterer
 from repro.constraints.constraint import ConstraintSet
 from repro.constraints.oracles import ConstraintOracle, PerfectOracle
+from repro.core.distance_backend import resolve_distance_backend
 from repro.core.executor import BACKENDS, derive_seed, get_executor
 from repro.core.folds import CVCPFold, make_folds
 from repro.core.model_selection import CVCPResult, ParameterEvaluation
@@ -144,6 +145,15 @@ class CVCP:
         (default), ``"thread"`` or ``"process"``.  Every cell derives its
         seed from its grid coordinates, so all backends return bit-identical
         results for the same ``random_state``.
+    distance_backend:
+        Distance-matrix storage tier for every grid cell and the refit —
+        ``"dense"``, ``"blockwise"`` or ``"memmap"`` (``None`` leaves the
+        estimator's own setting in place, which falls back to
+        ``REPRO_DISTANCE_BACKEND``).  Tiers are bit-identical, so the
+        selected parameter and all fold scores do not depend on it; with
+        ``"memmap"`` the process backend's workers map the same spill file
+        instead of each materialising the matrix (see
+        :mod:`repro.core.distance_backend`).
     artifact_store / artifact_scope:
         Optional per-cell resume through an
         :class:`~repro.experiments.artifacts.ArtifactStore`-compatible
@@ -200,6 +210,7 @@ class CVCP:
         oracle_amount: float = 0.2,
         n_jobs: int | None = None,
         backend: str = "serial",
+        distance_backend: str | None = None,
         artifact_store=None,
         artifact_scope: dict | None = None,
     ) -> None:
@@ -228,6 +239,9 @@ class CVCP:
         self.oracle_amount = oracle_amount
         self.n_jobs = n_jobs
         self.backend = backend
+        self.distance_backend = (
+            None if distance_backend is None else resolve_distance_backend(distance_backend)
+        )
         self.artifact_store = artifact_store
         self.artifact_scope = artifact_scope
 
@@ -287,16 +301,22 @@ class CVCP:
         # thread/process backends bit-identical to the serial one.
         master_seed = int(rng.integers(0, 2**63 - 1))
 
-        if (
-            self.backend == "process"
-            and multiprocessing.get_start_method() == "fork"
-            and "metric" in self.estimator.get_params()
-        ):
-            # Warm the per-process distance cache before the pool starts:
-            # fork-started workers inherit the matrix for free.  Pointless
-            # under spawn/forkserver, where each worker computes (and then
-            # caches) its own copy.
-            cached_pairwise_distances(X, self.estimator.metric)
+        if self.backend == "process" and "metric" in self.estimator.get_params():
+            effective = self._effective_distance_backend()
+            # Warm the per-process distance cache before the pool starts.
+            # Fork-started workers inherit the in-RAM matrix for free;
+            # that is pointless under spawn/forkserver, where each worker
+            # computes (and then caches) its own copy.  The memmap tier is
+            # warmed under *every* start method: the warm call writes the
+            # fingerprint-keyed spill file, which all workers — however
+            # started — map instead of recomputing.
+            if (
+                multiprocessing.get_start_method() == "fork"
+                or resolve_distance_backend(effective) == "memmap"
+            ):
+                cached_pairwise_distances(
+                    X, self.estimator.metric, distance_backend=effective
+                )
 
         data_key = array_fingerprint(X)
         tasks = [
@@ -408,11 +428,22 @@ class CVCP:
         return self.labels_
 
     # ------------------------------------------------------------------
+    def _effective_distance_backend(self) -> str | None:
+        """The tier grid cells run under: the CVCP override or the template's own."""
+        if self.distance_backend is not None:
+            return self.distance_backend
+        return self.estimator.get_params().get("distance_backend")
+
     def _make_estimator(self, value: Any, seed: int) -> BaseClusterer:
         """Clone the template with the candidate value and a derived child seed."""
         overrides: dict[str, Any] = {self.parameter_name: value}
         if "random_state" in self.estimator.get_params():
             overrides["random_state"] = int(seed)
+        if (
+            self.distance_backend is not None
+            and "distance_backend" in self.estimator.get_params()
+        ):
+            overrides["distance_backend"] = self.distance_backend
         return self.estimator.clone(**overrides)
 
     def _refit(
@@ -452,15 +483,17 @@ def select_parameter(
     random_state: RandomStateLike = None,
     n_jobs: int | None = None,
     backend: str = "serial",
+    distance_backend: str | None = None,
 ) -> tuple[Any, CVCPResult]:
     """Functional one-shot interface to CVCP.
 
     Returns ``(best value, full cross-validation result)`` without refitting;
     convenient inside experiment loops where the refit is done separately.
-    ``n_jobs``/``backend`` select the execution engine for the grid.  With an
-    ``oracle``, pass ``ground_truth`` instead of pre-sampled side
-    information and the oracle generates ``oracle_amount`` of
-    ``oracle_scenario`` supervision before the grid runs.
+    ``n_jobs``/``backend`` select the execution engine for the grid and
+    ``distance_backend`` the distance-matrix storage tier (bit-identical
+    across tiers).  With an ``oracle``, pass ``ground_truth`` instead of
+    pre-sampled side information and the oracle generates ``oracle_amount``
+    of ``oracle_scenario`` supervision before the grid runs.
     """
     search = CVCP(
         estimator,
@@ -474,6 +507,7 @@ def select_parameter(
         oracle_amount=oracle_amount,
         n_jobs=n_jobs,
         backend=backend,
+        distance_backend=distance_backend,
     )
     search.fit(
         X, labeled_objects=labeled_objects, constraints=constraints, ground_truth=ground_truth

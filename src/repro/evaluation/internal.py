@@ -25,12 +25,20 @@ def _validated(X: np.ndarray, labels: Sequence[int] | np.ndarray) -> tuple[np.nd
     return X, labels
 
 
-def silhouette_samples(X: np.ndarray, labels: Sequence[int] | np.ndarray) -> np.ndarray:
+def silhouette_samples(
+    X: np.ndarray,
+    labels: Sequence[int] | np.ndarray,
+    *,
+    distance_backend: str | None = None,
+) -> np.ndarray:
     """Per-object silhouette width.
 
     Noise objects (label ``-1``) receive a silhouette of 0 and are excluded
     from the neighbour computations of other objects' clusters.
     Singleton clusters also receive 0, following the usual convention.
+    ``distance_backend`` selects the distance-matrix storage tier (see
+    :mod:`repro.core.distance_backend`); the per-object loop reads the
+    matrix row-wise, so memmap storage streams naturally.
     """
     X, labels = _validated(X, labels)
     clusters = unique_labels(labels)
@@ -39,7 +47,7 @@ def silhouette_samples(X: np.ndarray, labels: Sequence[int] | np.ndarray) -> np.
     if clusters.size < 2:
         return scores
 
-    distances = cached_pairwise_distances(X)
+    distances = cached_pairwise_distances(X, distance_backend=distance_backend)
     members_by_cluster = {int(c): np.flatnonzero(labels == c) for c in clusters}
 
     for index in range(n_samples):
@@ -63,17 +71,23 @@ def silhouette_samples(X: np.ndarray, labels: Sequence[int] | np.ndarray) -> np.
     return scores
 
 
-def silhouette_score(X: np.ndarray, labels: Sequence[int] | np.ndarray) -> float:
+def silhouette_score(
+    X: np.ndarray,
+    labels: Sequence[int] | np.ndarray,
+    *,
+    distance_backend: str | None = None,
+) -> float:
     """Mean silhouette width over non-noise objects.
 
     Returns 0 when fewer than two clusters are present (the measure is
     undefined there; 0 keeps parameter sweeps well behaved).
+    ``distance_backend`` selects the distance-matrix storage tier.
     """
     X, labels = _validated(X, labels)
     clusters = unique_labels(labels)
     if clusters.size < 2:
         return 0.0
-    scores = silhouette_samples(X, labels)
+    scores = silhouette_samples(X, labels, distance_backend=distance_backend)
     mask = labels >= 0
     if not np.any(mask):
         return 0.0

@@ -72,6 +72,12 @@ class ExperimentConfig:
         fixed seed.
     n_jobs:
         Worker count for the parallel backends (``None`` = all cores).
+    distance_backend:
+        Distance-matrix storage tier (``"dense"``, ``"blockwise"`` or
+        ``"memmap"``; see :mod:`repro.core.distance_backend`).  ``None``
+        defers to ``REPRO_DISTANCE_BACKEND``/the dense default.  Tiers are
+        bit-identical, so this field is deliberately *not* part of the
+        trial artifact fingerprint — stores are shared across tiers.
     """
 
     n_trials: int = 50
@@ -87,21 +93,28 @@ class ExperimentConfig:
     seed: int = 20140324  # EDBT 2014 conference start date
     backend: str = "serial"
     n_jobs: int | None = None
+    distance_backend: str | None = None
 
     def with_overrides(self, **overrides) -> "ExperimentConfig":
         """Return a copy with the given fields replaced."""
         return replace(self, **overrides)
 
     def with_execution(
-        self, backend: str | None = None, n_jobs: int | None = None
+        self,
+        backend: str | None = None,
+        n_jobs: int | None = None,
+        distance_backend: str | None = None,
     ) -> "ExperimentConfig":
         """Copy with the execution engine overridden where arguments are given."""
-        if backend is None and n_jobs is None:
+        if backend is None and n_jobs is None and distance_backend is None:
             return self
         return replace(
             self,
             backend=backend if backend is not None else self.backend,
             n_jobs=n_jobs if n_jobs is not None else self.n_jobs,
+            distance_backend=(
+                distance_backend if distance_backend is not None else self.distance_backend
+            ),
         )
 
 
@@ -126,6 +139,9 @@ def default_config() -> ExperimentConfig:
     ``REPRO_BACKEND`` (``serial``/``thread``/``process``) and
     ``REPRO_N_JOBS`` select the execution engine without touching code,
     which is how the benchmark harness and CI exercise the parallel paths.
+    (``REPRO_DISTANCE_BACKEND`` needs no plumbing here: a ``None``
+    ``distance_backend`` defers to the environment at every use site — see
+    :func:`repro.core.distance_backend.resolve_distance_backend`.)
     """
     if os.environ.get("REPRO_FULL", "").strip() in {"1", "true", "yes"}:
         config = PAPER_CONFIG

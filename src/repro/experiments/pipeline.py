@@ -27,6 +27,7 @@ the execution engine and the artifact-store location:
 
     [execution]
     backend = "serial"           # serial|thread|process
+    distance_backend = "dense"   # dense|blockwise|memmap
 
     [artifacts]
     root = ".repro-artifacts"
@@ -60,6 +61,7 @@ except ModuleNotFoundError:  # Python 3.10: stdlib tomllib arrived in 3.11
         tomllib = None  # type: ignore[assignment]
 
 from repro.constraints.oracles import ConstraintOracle, PerfectOracle, make_oracle, oracle_names
+from repro.core.distance_backend import DISTANCE_BACKENDS
 from repro.core.executor import BACKENDS
 from repro.datasets.registry import DATASET_NAMES, get_dataset
 from repro.experiments.ablation import (
@@ -384,11 +386,15 @@ def validate_pipeline_mapping(raw: dict, source: str) -> tuple[PipelineSpec | No
     execution = raw.get("execution", {})
     backend = "serial"
     n_jobs: int | None = None
+    distance_backend: str | None = None
     parallelize = "grid"
     if isinstance(execution, dict):
         for key in execution:
-            if key not in ("backend", "n_jobs", "parallelize"):
-                problems.append(f"execution.{key}: unknown key (expected backend, n_jobs, parallelize)")
+            if key not in ("backend", "n_jobs", "parallelize", "distance_backend"):
+                problems.append(
+                    f"execution.{key}: unknown key "
+                    "(expected backend, n_jobs, parallelize, distance_backend)"
+                )
         if "backend" in execution:
             checked = _check_enum(problems, "execution", "backend", execution["backend"], BACKENDS)
             backend = checked or backend
@@ -398,6 +404,11 @@ def validate_pipeline_mapping(raw: dict, source: str) -> tuple[PipelineSpec | No
                 problems.append(f"execution.n_jobs: must be an integer, got {value!r}")
             else:
                 n_jobs = value
+        if "distance_backend" in execution:
+            distance_backend = _check_enum(
+                problems, "execution", "distance_backend",
+                execution["distance_backend"], DISTANCE_BACKENDS,
+            )
         if "parallelize" in execution:
             checked = _check_enum(
                 problems, "execution", "parallelize", execution["parallelize"], ("grid", "trials")
@@ -454,7 +465,9 @@ def validate_pipeline_mapping(raw: dict, source: str) -> tuple[PipelineSpec | No
         config = config.with_overrides(label_fractions=tuple(amounts))
     else:
         config = config.with_overrides(constraint_fractions=tuple(amounts))
-    config = config.with_execution(backend=backend, n_jobs=n_jobs)
+    config = config.with_execution(
+        backend=backend, n_jobs=n_jobs, distance_backend=distance_backend
+    )
 
     spec = PipelineSpec(
         name=name,
@@ -709,18 +722,24 @@ def run_pipeline(
     store: ArtifactStore | None = None,
     backend: str | None = None,
     n_jobs: int | None = None,
+    distance_backend: str | None = None,
     write_reports: bool = True,
 ) -> PipelineResult:
     """Execute a pipeline spec through the artifact store.
 
-    ``backend``/``n_jobs`` override the spec's execution engine (results
-    are bit-identical across backends, so overriding never invalidates
-    cached artifacts).  With ``write_reports`` the rendered report and the
-    deterministic ``summary.json`` are persisted under
-    ``<artifacts root>/reports/<name>/``.
+    ``backend``/``n_jobs``/``distance_backend`` override the spec's
+    execution engine and distance-matrix storage tier (results are
+    bit-identical across execution backends *and* distance tiers, so
+    overriding never invalidates cached artifacts).  With
+    ``write_reports`` the rendered report and the deterministic
+    ``summary.json`` are persisted under ``<artifacts root>/reports/<name>/``.
     """
-    if backend is not None or n_jobs is not None:
-        spec = spec.with_overrides(config=spec.config.with_execution(backend=backend, n_jobs=n_jobs))
+    if backend is not None or n_jobs is not None or distance_backend is not None:
+        spec = spec.with_overrides(
+            config=spec.config.with_execution(
+                backend=backend, n_jobs=n_jobs, distance_backend=distance_backend
+            )
+        )
     if store is None:
         store = ArtifactStore(spec.artifacts_root)
     store.reset_stats()

@@ -170,7 +170,9 @@ def algorithm_factory(
     """Instantiate the template estimator for an algorithm name."""
     seed = int(check_random_state(random_state).integers(0, 2**31 - 1))
     if algorithm == "fosc":
-        return FOSCOpticsDend(min_pts=5, random_state=seed)
+        return FOSCOpticsDend(
+            min_pts=5, random_state=seed, distance_backend=config.distance_backend
+        )
     if algorithm == "mpck":
         return MPCKMeans(
             n_clusters=3,
@@ -319,6 +321,7 @@ def run_trial(
         random_state=rng,
         n_jobs=config.n_jobs,
         backend=config.backend,
+        distance_backend=config.distance_backend,
         artifact_store=cell_store,
         artifact_scope=key,
     )
@@ -351,7 +354,9 @@ def run_trial(
         external_scores.append(
             overall_f_measure(dataset.y, model.labels_, exclude=exclude)
         )
-        silhouettes.append(silhouette_score(dataset.X, model.labels_))
+        silhouettes.append(
+            silhouette_score(dataset.X, model.labels_, distance_backend=config.distance_backend)
+        )
         if cell_store is not None:
             payload = {"external": external_scores[-1], "silhouette": silhouettes[-1]}
             cell_store.put("cell", cell_key, payload)

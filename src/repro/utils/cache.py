@@ -37,10 +37,25 @@ DEFAULT_MAX_ITEMS = 8
 
 
 def array_fingerprint(array: np.ndarray) -> str:
-    """Content fingerprint of an array: shape, dtype and a digest of the bytes."""
-    array = np.ascontiguousarray(array)
-    digest = hashlib.blake2b(array.view(np.uint8).data, digest_size=16).hexdigest()
-    return f"{array.shape}:{array.dtype.str}:{digest}"
+    """Content fingerprint of an array: shape, dtype and a digest of the bytes.
+
+    Contiguous arrays are hashed straight from their buffer; non-contiguous
+    views are staged through small row blocks instead of one hidden
+    full-size contiguous copy, so fingerprinting (and therefore every cache
+    lookup) never doubles the input's memory footprint.  The digest is the
+    C-order byte stream either way, so a view and its contiguous copy share
+    a fingerprint.
+    """
+    array = np.asarray(array)
+    digest = hashlib.blake2b(digest_size=16)
+    if array.flags.c_contiguous:
+        digest.update(array.view(np.uint8).data)
+    else:
+        row_bytes = max(int(array[0:1].nbytes), 1)
+        block = max(1, (4 << 20) // row_bytes)  # ~4 MiB staging buffer
+        for start in range(0, array.shape[0], block):
+            digest.update(array[start:start + block].tobytes())
+    return f"{array.shape}:{array.dtype.str}:{digest.hexdigest()}"
 
 
 @dataclass
@@ -148,20 +163,30 @@ class MemoCache:
 _distance_cache = MemoCache()
 
 
-def cached_pairwise_distances(X: np.ndarray, metric: str = "euclidean") -> np.ndarray:
+def cached_pairwise_distances(
+    X: np.ndarray, metric: str = "euclidean", *, distance_backend: str | None = None
+) -> np.ndarray:
     """Full ``(n, n)`` distance matrix for ``X``, memoised per process.
 
     Drop-in replacement for
     :func:`repro.clustering.distances.pairwise_distances`; the returned
     matrix is read-only because it is shared between callers.
-    """
-    from repro.clustering.distances import pairwise_distances
 
-    X = np.asarray(X, dtype=np.float64)
-    key = (array_fingerprint(X), metric)
+    ``distance_backend`` selects the storage tier (see
+    :mod:`repro.core.distance_backend`; ``None`` consults
+    ``REPRO_DISTANCE_BACKEND``).  The resolved backend is part of the memo
+    key, so every tier sees the same hit/miss pattern for the same request
+    sequence; all tiers return bit-identical values.  The input is
+    fingerprinted as-is — a cache hit never converts or copies ``X``.
+    """
+    from repro.core.distance_backend import get_distance_backend
+
+    backend = get_distance_backend(distance_backend)
+    X = np.asarray(X)
+    key = (array_fingerprint(X), metric, backend.name)
 
     def compute() -> np.ndarray:
-        matrix = pairwise_distances(X, metric=metric)
+        matrix = backend.pairwise(X, metric=metric)
         matrix.setflags(write=False)
         return matrix
 

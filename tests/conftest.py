@@ -9,6 +9,22 @@ from repro.constraints import ConstraintSet, cannot_link, must_link
 from repro.datasets import make_blobs, make_iris_like, make_two_moons
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_spill_directory(tmp_path_factory):
+    """Keep memmap spill files inside the test session's tmp tree."""
+    import os
+
+    from repro.core.distance_backend import SPILL_DIR_ENV_VAR
+
+    previous = os.environ.get(SPILL_DIR_ENV_VAR)
+    os.environ[SPILL_DIR_ENV_VAR] = str(tmp_path_factory.mktemp("distance-spill"))
+    yield
+    if previous is None:
+        os.environ.pop(SPILL_DIR_ENV_VAR, None)
+    else:
+        os.environ[SPILL_DIR_ENV_VAR] = previous
+
+
 @pytest.fixture(scope="session")
 def rng() -> np.random.Generator:
     return np.random.default_rng(12345)

@@ -1,0 +1,275 @@
+"""Tests for the large-n scale benchmark (record format, gate, CLI)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import bench_scale
+from repro.cli.main import main
+from repro.core.distance_backend import SPILL_DIR_ENV_VAR
+
+
+def fresh_record(**cell_overrides) -> dict:
+    cell = {
+        "wall_s": 1.0,
+        "peak_rss_bytes": 500 * 2**20,
+        "labels_digest": "abc",
+        "parity": True,
+        "rounds": 1,
+    }
+    cell.update(cell_overrides)
+    return {
+        "kind": "repro-bench-scale",
+        "seed": bench_scale.SCALE_SEED,
+        "sizes": dict(bench_scale.SCALE_SIZES),
+        "budget_bytes": bench_scale.MEMORY_BUDGET_BYTES,
+        "dense_projected_bytes": {
+            name: bench_scale.projected_dense_peak_bytes(n)
+            for name, n in bench_scale.SCALE_SIZES.items()
+        },
+        "machine": {"cpu_count": 1, "python": "3.11.0"},
+        "results": {
+            "dense": {"n1200": dict(cell)},
+            "memmap": {"n1200": dict(cell), "n10000": dict(cell)},
+        },
+    }
+
+
+def baseline_from(record: dict) -> dict:
+    wall = {
+        backend: {size: entry["wall_s"] for size, entry in sizes.items()}
+        for backend, sizes in record["results"].items()
+    }
+    rss = {
+        backend: {size: entry["peak_rss_bytes"] for size, entry in sizes.items()}
+        for backend, sizes in record["results"].items()
+    }
+    return {
+        bench_scale.BASELINE_SECTION: {
+            "wall_s": wall,
+            "peak_rss_bytes": rss,
+            "budget_bytes": bench_scale.MEMORY_BUDGET_BYTES,
+        }
+    }
+
+
+class TestRecordHandling:
+    def test_normalize_accepts_the_cli_format(self):
+        record = fresh_record()
+        assert bench_scale.normalize_record(record) == record["results"]
+
+    def test_normalize_rejects_foreign_and_truncated_records(self):
+        with pytest.raises(ValueError, match="repro-bench-scale"):
+            bench_scale.normalize_record({"kind": "something-else"})
+        with pytest.raises(ValueError, match="results"):
+            bench_scale.normalize_record({"kind": "repro-bench-scale"})
+
+    def test_projected_dense_bytes_exceed_budget_at_n10000(self):
+        """The scale story: three dense float64 matrices at n=10000 blow 2 GiB."""
+        assert bench_scale.projected_dense_peak_bytes(10_000) > bench_scale.MEMORY_BUDGET_BYTES
+        assert bench_scale.projected_dense_peak_bytes(5_000) < bench_scale.MEMORY_BUDGET_BYTES
+
+    def test_labels_digest_is_content_addressed(self):
+        a = np.array([0, 1, 1, -1], dtype=np.int64)
+        assert bench_scale.labels_digest(a) == bench_scale.labels_digest(a.copy())
+        assert bench_scale.labels_digest(a) != bench_scale.labels_digest(a[::-1].copy())
+
+    def test_format_table_lists_cells_and_baseline_delta(self):
+        record = fresh_record()
+        table = bench_scale.format_scale_table(
+            bench_scale.normalize_record(record), baseline_from(record)
+        )
+        assert "memmap" in table and "n10000" in table
+        assert "+0%" in table  # identical to baseline
+        assert "dense projected" in table
+
+
+class TestCompareRecords:
+    def test_identical_record_passes(self):
+        record = fresh_record()
+        assert bench_scale.compare_records(
+            bench_scale.normalize_record(record), baseline_from(record)
+        ) == []
+
+    def test_missing_baseline_section_is_reported(self):
+        assert bench_scale.compare_records({}, {}) == [
+            "baseline is missing the 'bench_scale' section"
+        ]
+
+    def test_missing_cell_and_malformed_entry_reported(self):
+        record = fresh_record()
+        baseline = baseline_from(record)
+        fresh = bench_scale.normalize_record(fresh_record())
+        del fresh["memmap"]["n10000"]
+        fresh["dense"]["n1200"] = {"parity": True}
+        problems = bench_scale.compare_records(fresh, baseline)
+        text = "\n".join(problems)
+        assert "memmap/n10000: missing" in text
+        assert "dense/n1200: malformed" in text
+
+    def test_slowdown_rss_growth_and_parity_flag_gate(self):
+        record = fresh_record()
+        baseline = baseline_from(record)
+        fresh = bench_scale.normalize_record(fresh_record())
+        fresh["dense"]["n1200"]["wall_s"] = 2.0  # +100%
+        fresh["memmap"]["n1200"]["peak_rss_bytes"] = 900 * 2**20  # +80%
+        fresh["memmap"]["n10000"]["parity"] = False
+        problems = "\n".join(bench_scale.compare_records(fresh, baseline))
+        assert "dense/n1200: wall" in problems
+        assert "memmap/n1200: peak RSS" in problems
+        assert "memmap/n10000: parity mismatch" in problems
+
+    def test_memmap_cells_must_stay_under_the_absolute_budget(self):
+        record = fresh_record()
+        baseline = baseline_from(record)
+        # Baseline RSS huge so the relative gate passes; absolute gate still fires.
+        section = baseline[bench_scale.BASELINE_SECTION]
+        section["peak_rss_bytes"]["memmap"]["n10000"] = 4 * 2**30
+        fresh = bench_scale.normalize_record(fresh_record())
+        fresh["memmap"]["n10000"]["peak_rss_bytes"] = 3 * 2**30
+        problems = "\n".join(bench_scale.compare_records(fresh, baseline))
+        assert "exceeds the 2048 MiB budget" in problems
+
+    def test_digest_divergence_across_backends_reported(self):
+        record = fresh_record()
+        baseline = baseline_from(record)
+        fresh = bench_scale.normalize_record(fresh_record())
+        fresh["memmap"]["n1200"]["labels_digest"] = "different"
+        problems = "\n".join(bench_scale.compare_records(fresh, baseline))
+        assert "label digests differ" in problems
+
+    def test_subset_runs_gate_only_their_cells(self):
+        record = fresh_record()
+        baseline = baseline_from(record)
+        fresh = {"memmap": {"n1200": record["results"]["memmap"]["n1200"]}}
+        # Without expected_cells the dense cell and memmap/n10000 are missing...
+        assert bench_scale.compare_records(fresh, baseline)
+        # ...but a deliberate memmap/n1200-only run passes.
+        assert bench_scale.compare_records(
+            fresh, baseline, expected_cells={"memmap": ("n1200",)}
+        ) == []
+
+
+class TestRunBenchScale:
+    def test_rejects_unknown_backends_and_sizes(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            bench_scale.run_bench_scale(("ram-disk",))
+        with pytest.raises(ValueError, match="unknown size"):
+            bench_scale.run_bench_scale(("dense",), ("n99",))
+
+    def test_small_run_records_all_cells_with_matching_digests(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(SPILL_DIR_ENV_VAR, str(tmp_path / "spill"))
+        monkeypatch.setattr(bench_scale, "SCALE_SIZES", {"n180": 180})
+        monkeypatch.setattr(bench_scale, "PARITY_N", 180)
+        record = bench_scale.run_bench_scale(
+            ("dense", "memmap"), ("n180",), skip_executor_parity=True
+        )
+        results = bench_scale.normalize_record(record)
+        assert set(results) == {"dense", "memmap"}
+        for backend in results:
+            cell = results[backend]["n180"]
+            assert cell["parity"] is True
+            assert cell["wall_s"] > 0
+            assert cell["peak_rss_bytes"] > 0
+        assert (
+            results["dense"]["n180"]["labels_digest"]
+            == results["memmap"]["n180"]["labels_digest"]
+        )
+        assert record["dense_projected_bytes"] == {"n180": 180 * 180 * 24}
+
+    def test_run_cell_measures_in_process(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(SPILL_DIR_ENV_VAR, str(tmp_path / "spill"))
+        cell = bench_scale.run_cell("blockwise", 150)
+        assert cell["wall_s"] > 0 and cell["peak_rss_bytes"] > 0
+        assert cell["n_clusters"] >= 1
+
+
+class TestScaleCli:
+    def test_parity_only_smoke(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv(SPILL_DIR_ENV_VAR, str(tmp_path / "spill"))
+        monkeypatch.setattr(bench_scale, "PARITY_N", 150)
+        monkeypatch.setattr(
+            bench_scale, "assert_executor_parity", lambda n_samples=240: None
+        )
+        assert main(["bench", "scale", "--parity-only"]) == 0
+        assert "parity ok" in capsys.readouterr().out
+
+    def test_compare_and_json_are_mutually_exclusive(self, tmp_path, capsys):
+        record_path = tmp_path / "fresh.json"
+        record_path.write_text(json.dumps(fresh_record()), encoding="utf-8")
+        code = main([
+            "bench", "scale", "--compare", str(record_path), "--json", str(tmp_path / "out.json"),
+        ])
+        assert code == 2
+        assert "--compare" in capsys.readouterr().err
+
+    def test_compare_gates_against_baseline(self, tmp_path, capsys):
+        record = fresh_record()
+        record_path = tmp_path / "fresh.json"
+        record_path.write_text(json.dumps(record), encoding="utf-8")
+        baseline_path = tmp_path / "BENCH_scale.json"
+        baseline_path.write_text(json.dumps(baseline_from(record)), encoding="utf-8")
+        assert main([
+            "bench", "scale", "--compare", str(record_path), "--baseline", str(baseline_path),
+        ]) == 0
+        assert "within baseline" in capsys.readouterr().out
+
+        slow = fresh_record(wall_s=10.0)
+        record_path.write_text(json.dumps(slow), encoding="utf-8")
+        assert main([
+            "bench", "scale", "--compare", str(record_path), "--baseline", str(baseline_path),
+        ]) == 1
+        assert "regression detected" in capsys.readouterr().err
+
+    def test_malformed_compare_record_is_a_usage_error(self, tmp_path, capsys):
+        record_path = tmp_path / "fresh.json"
+        record_path.write_text(json.dumps({"kind": "nonsense"}), encoding="utf-8")
+        assert main(["bench", "scale", "--compare", str(record_path)]) == 2
+        assert "repro-bench-scale" in capsys.readouterr().err
+
+    def test_unknown_backend_is_a_usage_error(self, capsys):
+        assert main(["bench", "scale", "--backends", "ram-disk"]) == 2
+        assert "unknown backend" in capsys.readouterr().err
+
+    def test_json_writes_record_and_table(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv(SPILL_DIR_ENV_VAR, str(tmp_path / "spill"))
+        monkeypatch.setattr(bench_scale, "SCALE_SIZES", {"n150": 150})
+        monkeypatch.setattr(bench_scale, "PARITY_N", 150)
+        monkeypatch.setattr(
+            bench_scale, "assert_executor_parity", lambda n_samples=240: None
+        )
+        out_path = tmp_path / "record.json"
+        assert main([
+            "bench", "scale", "--backends", "dense", "--sizes", "n150",
+            "--json", str(out_path),
+        ]) == 0
+        record = json.loads(out_path.read_text(encoding="utf-8"))
+        assert record["kind"] == "repro-bench-scale"
+        assert "dense" in record["results"]
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestMalformedResults:
+    def test_normalize_rejects_non_mapping_backend_entries(self):
+        # Regression: a truncated artifact with results["dense"] == [] used
+        # to traceback in format/compare instead of exiting 2.
+        with pytest.raises(ValueError, match="truncated artifact"):
+            bench_scale.normalize_record(
+                {"kind": "repro-bench-scale", "results": {"dense": []}}
+            )
+        with pytest.raises(ValueError, match="truncated artifact"):
+            bench_scale.normalize_record(
+                {"kind": "repro-bench-scale", "results": {"dense": {"n1200": 3.0}}}
+            )
+
+    def test_cli_reports_truncated_artifact_as_usage_error(self, tmp_path, capsys):
+        record_path = tmp_path / "truncated.json"
+        record_path.write_text(
+            json.dumps({"kind": "repro-bench-scale", "results": {"dense": []}}),
+            encoding="utf-8",
+        )
+        assert main(["bench", "scale", "--compare", str(record_path)]) == 2
+        assert "truncated artifact" in capsys.readouterr().err

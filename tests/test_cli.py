@@ -404,3 +404,45 @@ class TestBenchCommand:
     def test_normalize_rejects_unknown_format(self):
         with pytest.raises(ValueError):
             normalize_record({"what": "is this"})
+
+
+class TestDistanceBackendConfig:
+    """The execution.distance_backend schema key and CLI override."""
+
+    def test_valid_value_reaches_the_config(self, tmp_path):
+        path = tmp_path / "tiered.toml"
+        path.write_text(
+            GOOD_TOML.format(root=tmp_path / "artifacts")
+            + '\n[execution]\ndistance_backend = "blockwise"\n',
+            encoding="utf-8",
+        )
+        spec = load_pipeline_spec(path)
+        assert spec.config.distance_backend == "blockwise"
+
+    def test_unset_key_defers_to_the_environment(self, tiny_config):
+        spec = load_pipeline_spec(tiny_config)
+        assert spec.config.distance_backend is None
+
+    def test_invalid_value_is_reported(self, tmp_path):
+        path = tmp_path / "bad.toml"
+        path.write_text(
+            '[experiment]\nname = "b"\nkind = "trials"\n\n'
+            '[execution]\ndistance_backend = "ssd"\n',
+            encoding="utf-8",
+        )
+        problems = validate_pipeline_file(path)
+        assert any(
+            "execution.distance_backend" in problem and "memmap" in problem
+            for problem in problems
+        )
+
+    def test_cli_override_and_cross_tier_artifact_reuse(self, tiny_config, tmp_path, capsys):
+        """Tiers are bit-identical, so artifacts written under one are hits under another."""
+        assert main(["run", str(tiny_config), "--quiet", "--distance-backend", "blockwise"]) == 0
+        capsys.readouterr()
+        summary_path = tmp_path / "artifacts" / "reports" / "tiny" / "summary.json"
+        first_summary = summary_path.read_bytes()
+        assert main(["run", str(tiny_config), "--quiet", "--distance-backend", "memmap"]) == 0
+        out = capsys.readouterr().out
+        assert "2 hits" in out and "0 misses" in out
+        assert summary_path.read_bytes() == first_summary

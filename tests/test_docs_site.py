@@ -88,6 +88,7 @@ class TestMkdocstringsDirectives:
         for module in (
             "repro.constraints.oracles",
             "repro.core.cvcp",
+            "repro.core.distance_backend",
             "repro.core.executor",
             "repro.clustering.kernels",
             "repro.experiments.robustness",
@@ -126,9 +127,15 @@ class TestSchemaDocsInSync:
     def test_every_cli_command_is_documented(self):
         cli_page = (DOCS_DIR / "cli.md").read_text(encoding="utf-8")
         for command in ("repro run", "repro report", "repro bench",
-                        "repro bench kernels", "repro datasets list",
-                        "repro validate-config"):
+                        "repro bench kernels", "repro bench scale",
+                        "repro datasets list", "repro validate-config"):
             assert command in cli_page
+
+    def test_execution_distance_backend_key_is_documented(self):
+        config_page = (DOCS_DIR / "config.md").read_text(encoding="utf-8")
+        assert "`distance_backend`" in config_page
+        cli_page = (DOCS_DIR / "cli.md").read_text(encoding="utf-8")
+        assert "--distance-backend" in cli_page
 
     def test_performance_page_documents_the_kernel_subsystem(self):
         from repro.cli.bench_kernels import KERNEL_NAMES
@@ -152,6 +159,31 @@ class TestSchemaDocsInSync:
         assert "repro.clustering.kernels" in architecture_page
         assert "queried per trial" in architecture_page  # the post-PR-3 oracle flow
         assert "Kernels" in architecture_page  # the component diagram row
+
+    def test_performance_page_documents_the_distance_backends(self):
+        from repro.core.distance_backend import (
+            DISTANCE_BACKEND_ENV_VAR,
+            DISTANCE_BACKENDS,
+            SPILL_DIR_ENV_VAR,
+        )
+
+        performance_page = (DOCS_DIR / "performance.md").read_text(encoding="utf-8")
+        for backend in DISTANCE_BACKENDS:
+            assert f"`{backend}`" in performance_page, f"backend {backend} undocumented"
+        assert DISTANCE_BACKEND_ENV_VAR in performance_page
+        assert SPILL_DIR_ENV_VAR in performance_page
+        assert "BENCH_scale.json" in performance_page
+        assert "repro bench scale" in performance_page
+        # The RSS-vs-n reading guide the docs promise.
+        assert "dense_projected_bytes" in performance_page
+        assert "budget_bytes" in performance_page
+
+    def test_architecture_page_covers_the_distance_backend_layer(self):
+        architecture_page = (DOCS_DIR / "architecture.md").read_text(encoding="utf-8")
+        assert "repro.core.distance_backend" in architecture_page
+        assert "Distances" in architecture_page  # the component diagram row
+        for tier in ("dense", "blockwise", "memmap"):
+            assert tier in architecture_page
 
     def test_example_configs_referenced_from_docs_exist(self):
         text = "\n".join(page.read_text(encoding="utf-8") for page in _docs_pages())

@@ -121,11 +121,11 @@ class TestTrialResume:
         original = runner_module.silhouette_score
         calls = {"count": 0}
 
-        def interrupting(X, labels):
+        def interrupting(X, labels, **kwargs):
             calls["count"] += 1
             if calls["count"] == 2:
                 raise KeyboardInterrupt
-            return original(X, labels)
+            return original(X, labels, **kwargs)
 
         monkeypatch.setattr(runner_module, "silhouette_score", interrupting)
         with pytest.raises(KeyboardInterrupt):
