@@ -1,0 +1,484 @@
+"""Fleet orchestration benchmark + baseline gate for ``repro bench fleet``.
+
+Measures how close the work-stealing layer (:mod:`repro.experiments.fleet`)
+gets to the ideal 1/N wall-clock as the worker count grows, in a way that
+is honest on any machine — including single-core CI runners:
+
+* **Scheduling grid** — ``N_UNITS`` synthetic units of a fixed, known cost
+  (a plain ``time.sleep``, which consumes no CPU) are drained through the
+  *real* machinery: every worker is a fresh subprocess running
+  :class:`~repro.experiments.fleet.LeaseManager` claims,
+  :func:`~repro.experiments.fleet.work_steal` passes and content-addressed
+  completion writes against a shared
+  :class:`~repro.experiments.artifacts.ArtifactStore`.  Because the unit
+  cost is wall-clock rather than CPU, N workers genuinely finish in
+  ~1/N of the serial time on *one* core, so the measured speedup isolates
+  exactly what this bench is about: claim/steal/heartbeat/poll overhead.
+  Workers synchronise on a shared start barrier and the recorded wall is
+  the longest *drain* phase — interpreter startup is a fixed per-process
+  cost that amortizes to nothing on real grids, so including it would
+  gate numpy's import time instead of the scheduler.
+  The resulting store must be byte-identical across worker counts.
+* **Quickstart parity** — the real quickstart pipeline is run once
+  single-process and once with two ``repro run --worker`` processes
+  sharing a store; the two ``summary.json`` files must be byte-identical
+  (wall-clocks are recorded as context, not gated: real units are
+  CPU-bound, so their scaling is machine-dependent).
+
+``BENCH_fleet.json`` commits the recorded baseline; fresh records are
+gated on the per-worker-count speedup floors (machine-independent), the
+store-parity flags, the quickstart parity bit and a generous serial
+wall-clock budget.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.experiments.artifacts import ArtifactStore, key_digest
+from repro.experiments.fleet import LeaseManager, work_steal
+
+#: Worker counts measured by default.
+FLEET_BENCH_WORKER_COUNTS: tuple[int, ...] = (1, 2, 4)
+
+#: Synthetic scheduling-grid shape: units × fixed per-unit wall cost.
+N_UNITS = 32
+UNIT_COST_S = 0.25
+
+#: Lease TTL inside the bench workers (stealing is not the point here,
+#: but a crashed bench run must not poison the next one's store).
+_BENCH_TTL_S = 15.0
+
+#: Minimum speedup the gate enforces per worker count (vs 1 worker).
+DEFAULT_FLOORS: dict[str, float] = {"2": 1.6, "4": 2.4}
+
+#: Artifact kind of the synthetic units.
+UNIT_KIND = "fleetbench"
+
+#: Key of the baseline section inside ``BENCH_fleet.json``.
+BASELINE_SECTION = "bench_fleet"
+
+
+def synthetic_unit_keys(n_units: int, unit_cost_s: float) -> list[dict]:
+    """Content-addressed keys of the synthetic scheduling units."""
+    cost_ms = int(round(unit_cost_s * 1000))
+    return [
+        {"bench": "fleet-steal", "unit": index, "n_units": int(n_units), "cost_ms": cost_ms}
+        for index in range(n_units)
+    ]
+
+
+def store_digest(root: str | Path) -> str:
+    """Content digest of every synthetic-unit artifact (the parity token)."""
+    import hashlib
+
+    kind_dir = Path(root) / UNIT_KIND
+    digest = hashlib.sha256()
+    for path in sorted(kind_dir.rglob("*.json")):
+        digest.update(path.relative_to(kind_dir).as_posix().encode("utf-8"))
+        digest.update(path.read_bytes())
+    return digest.hexdigest()
+
+
+def _subprocess_env() -> dict[str, str]:
+    env = dict(os.environ)
+    package_root = str(Path(__file__).resolve().parent.parent.parent)
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = package_root + (os.pathsep + existing if existing else "")
+    return env
+
+
+def _spawn_worker(root: Path, n_units: int, unit_cost_s: float, worker_id: str) -> subprocess.Popen:
+    cost_ms = int(round(unit_cost_s * 1000))
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli.bench_fleet",
+            "--worker",
+            str(root),
+            str(n_units),
+            str(cost_ms),
+            str(_BENCH_TTL_S),
+            worker_id,
+        ],
+        env=_subprocess_env(),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+
+
+def _await_barrier(root: Path, n_workers: int, procs: list[subprocess.Popen]) -> None:
+    """Wait until every worker posted its ready file, then release them."""
+    deadline = time.monotonic() + 120.0
+    while sum(1 for _ in root.glob("ready-*")) < n_workers:
+        if any(proc.poll() not in (None, 0) for proc in procs):
+            break  # a worker died before the barrier; _drain_workers reports it
+        if time.monotonic() > deadline:
+            for proc in procs:
+                proc.kill()
+            raise RuntimeError("fleet bench workers did not reach the start barrier within 120s")
+        time.sleep(0.01)
+    (root / "go").touch()
+
+
+def _drain_workers(procs: list[subprocess.Popen], *, what: str) -> list[dict]:
+    """Wait for every worker; returns their printed stats records."""
+    stats: list[dict] = []
+    failures: list[str] = []
+    for proc in procs:
+        try:
+            stdout, stderr = proc.communicate(timeout=600)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            stdout, stderr = proc.communicate()
+            failures.append(f"{what}: worker timed out; stderr: {stderr.strip()[-400:]}")
+            continue
+        if proc.returncode != 0:
+            failures.append(
+                f"{what}: worker exited with code {proc.returncode}; "
+                f"stderr: {stderr.strip()[-400:]}"
+            )
+            continue
+        lines = stdout.strip().splitlines()
+        try:
+            stats.append(json.loads(lines[-1]))
+        except (IndexError, json.JSONDecodeError):
+            failures.append(f"{what}: worker produced no parseable stats line")
+    if failures:
+        raise RuntimeError("; ".join(failures))
+    return stats
+
+
+def run_scheduling_grid(
+    worker_counts: tuple[int, ...] = FLEET_BENCH_WORKER_COUNTS,
+    *,
+    n_units: int = N_UNITS,
+    unit_cost_s: float = UNIT_COST_S,
+) -> tuple[dict[str, dict], dict[str, float]]:
+    """Drain the synthetic grid at each worker count; returns (cells, speedup)."""
+    for count in worker_counts:
+        if not isinstance(count, int) or count < 1:
+            raise ValueError(f"worker counts must be positive integers, got {count!r}")
+    cells: dict[str, dict] = {}
+    reference_digest: str | None = None
+    for count in worker_counts:
+        with tempfile.TemporaryDirectory(prefix="repro-bench-fleet-") as root_name:
+            root = Path(root_name)
+            procs = [
+                _spawn_worker(root, n_units, unit_cost_s, f"bench-w{count}-{index}")
+                for index in range(count)
+            ]
+            _await_barrier(root, count, procs)
+            worker_stats = _drain_workers(procs, what=f"{count}-worker grid")
+            # All workers left the barrier within one 10ms poll of each
+            # other, so the slowest drain IS the fleet's wall-clock.
+            wall_s = max(record.get("drain_s", 0.0) for record in worker_stats)
+            store = ArtifactStore(root)
+            done = store.count(UNIT_KIND)
+            if done != n_units:
+                raise RuntimeError(
+                    f"{count}-worker grid finished with {done}/{n_units} units completed"
+                )
+            digest = store_digest(root)
+        if reference_digest is None:
+            reference_digest = digest
+        totals = {
+            "claimed": sum(s.get("claimed", 0) for s in worker_stats),
+            "stolen": sum(s.get("stolen", 0) for s in worker_stats),
+            "already_done": sum(s.get("already_done", 0) for s in worker_stats),
+            "waits": sum(s.get("waits", 0) for s in worker_stats),
+        }
+        cells[str(count)] = {
+            "wall_s": wall_s,
+            "parity": digest == reference_digest,
+            "store_digest": digest,
+            "stats": totals,
+        }
+    base_wall = cells[str(worker_counts[0])]["wall_s"]
+    speedup = {
+        name: base_wall / cell["wall_s"] for name, cell in cells.items() if name != str(worker_counts[0])
+    }
+    return cells, speedup
+
+
+def discover_quickstart_config() -> Path | None:
+    """The quickstart pipeline config, from the CWD or the source tree."""
+    for candidate in (
+        Path("examples/quickstart.toml"),
+        Path(__file__).resolve().parent.parent.parent.parent / "examples" / "quickstart.toml",
+    ):
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def run_quickstart_parity(config_path: Path, *, n_workers: int = 2) -> dict:
+    """Real-grid parity: 2 shared-store workers vs one single-process run.
+
+    Returns the measured walls and whether the two ``summary.json`` files
+    are byte-identical.  Raises ``RuntimeError`` when any run fails.
+    """
+
+    def summary_bytes(root: Path) -> bytes:
+        summaries = sorted(root.glob("reports/*/summary.json"))
+        if len(summaries) != 1:
+            raise RuntimeError(f"expected exactly one summary.json under {root}, found {len(summaries)}")
+        return summaries[0].read_bytes()
+
+    env = _subprocess_env()
+    with tempfile.TemporaryDirectory(prefix="repro-bench-fleet-qs-") as parent:
+        single_root = Path(parent) / "single"
+        fleet_root = Path(parent) / "fleet"
+        base = [sys.executable, "-m", "repro", "run", str(config_path), "--quiet"]
+        start = time.perf_counter()
+        completed = subprocess.run(
+            base + ["--artifacts-root", str(single_root)],
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        single_wall_s = time.perf_counter() - start
+        if completed.returncode != 0:
+            raise RuntimeError(
+                f"single-process quickstart run failed: {completed.stderr.strip()[-400:]}"
+            )
+        start = time.perf_counter()
+        procs = [
+            subprocess.Popen(
+                base
+                + [
+                    "--artifacts-root",
+                    str(fleet_root),
+                    "--worker",
+                    "--worker-id",
+                    f"bench-qs-{index}",
+                ],
+                env=env,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+            )
+            for index in range(n_workers)
+        ]
+        failures = []
+        for proc in procs:
+            stdout, stderr = proc.communicate(timeout=600)
+            if proc.returncode != 0:
+                failures.append(f"worker exited {proc.returncode}: {stderr.strip()[-400:]}")
+        fleet_wall_s = time.perf_counter() - start
+        if failures:
+            raise RuntimeError("quickstart fleet run failed: " + "; ".join(failures))
+        parity = summary_bytes(single_root) == summary_bytes(fleet_root)
+    return {
+        "config": str(config_path),
+        "n_workers": int(n_workers),
+        "single_wall_s": single_wall_s,
+        "fleet_wall_s": fleet_wall_s,
+        "parity": parity,
+    }
+
+
+def run_bench_fleet(
+    worker_counts: tuple[int, ...] = FLEET_BENCH_WORKER_COUNTS,
+    *,
+    n_units: int = N_UNITS,
+    unit_cost_s: float = UNIT_COST_S,
+    include_quickstart: bool = True,
+    config_path: str | Path | None = None,
+) -> dict:
+    """Run the fleet benchmark and return a fresh record."""
+    cells, speedup = run_scheduling_grid(worker_counts, n_units=n_units, unit_cost_s=unit_cost_s)
+    record = {
+        "kind": "repro-bench-fleet",
+        "n_units": int(n_units),
+        "unit_cost_s": float(unit_cost_s),
+        "grid": (
+            f"{n_units} fixed-cost ({unit_cost_s:g}s wall, zero CPU) units drained through "
+            "the real LeaseManager/work_steal/ArtifactStore path, one fresh subprocess per "
+            "worker sharing one store; speedup therefore measures orchestration overhead, "
+            "not CPU parallelism, and holds on single-core runners"
+        ),
+        "machine": {"cpu_count": os.cpu_count(), "python": platform.python_version()},
+        "workers": cells,
+        "speedup": speedup,
+        "floors": dict(DEFAULT_FLOORS),
+    }
+    if include_quickstart:
+        config = Path(config_path) if config_path is not None else discover_quickstart_config()
+        if config is None:
+            record["quickstart"] = {"skipped": "no quickstart config found (run from the repo root)"}
+        else:
+            record["quickstart"] = run_quickstart_parity(config)
+    return record
+
+
+def normalize_record(record: dict) -> dict:
+    """Validate the shape of a fresh record; returns it unchanged.
+
+    Raises
+    ------
+    ValueError
+        If the record is not a ``repro-bench-fleet`` JSON or is missing
+        its ``workers``/``speedup`` sections (e.g. a truncated artifact).
+    """
+    if record.get("kind") != "repro-bench-fleet":
+        raise ValueError("unrecognised fleet benchmark record (expected repro-bench-fleet JSON)")
+    workers = record.get("workers")
+    if not isinstance(workers, dict) or not all(isinstance(cell, dict) for cell in workers.values()):
+        raise ValueError("malformed fleet benchmark record: missing its 'workers' section")
+    if not isinstance(record.get("speedup"), dict):
+        raise ValueError("malformed fleet benchmark record: missing its 'speedup' section")
+    return record
+
+
+def compare_records(
+    fresh: dict,
+    baseline: dict,
+    *,
+    max_slowdown: float = 0.75,
+    expected_counts: tuple[str, ...] | None = None,
+) -> list[str]:
+    """Regression problems of a fresh fleet record against the baseline.
+
+    Gates, in order of importance: the per-worker-count speedup floors
+    committed in the baseline (machine-independent — the units are
+    wall-clock sleeps), the store-parity flag of every measured worker
+    count, the quickstart ``summary.json`` parity bit when the section was
+    measured, and a generous budget on the serial (1-worker) wall-clock.
+    """
+    section = baseline.get(BASELINE_SECTION)
+    if not isinstance(section, dict):
+        return [f"baseline is missing the {BASELINE_SECTION!r} section"]
+    floors = section.get("floors", DEFAULT_FLOORS)
+
+    problems: list[str] = []
+    for count, floor in sorted(floors.items()):
+        if expected_counts is not None and count not in expected_counts:
+            continue
+        observed = fresh.get("speedup", {}).get(count)
+        if observed is None:
+            problems.append(f"{count} workers: missing from the fresh record's speedup section")
+            continue
+        if observed < floor:
+            problems.append(
+                f"{count} workers: speedup {observed:.2f}x is below the {floor:.2f}x floor "
+                "(work-stealing overhead regression)"
+            )
+    for count, cell in sorted(fresh.get("workers", {}).items()):
+        if not cell.get("parity", False):
+            problems.append(f"{count} workers: store parity mismatch (bit-identity is the contract)")
+    quickstart = fresh.get("quickstart")
+    if isinstance(quickstart, dict) and "skipped" not in quickstart:
+        if not quickstart.get("parity", False):
+            problems.append(
+                "quickstart: multi-worker summary.json differs from the single-process run"
+            )
+    base_wall = section.get("wall_s", {}).get("1")
+    fresh_wall = fresh.get("workers", {}).get("1", {}).get("wall_s")
+    if base_wall and fresh_wall:
+        slowdown = fresh_wall / base_wall - 1.0
+        if slowdown > max_slowdown:
+            problems.append(
+                f"1 worker: wall {fresh_wall:.2f}s is {slowdown:+.0%} vs baseline "
+                f"{base_wall:.2f}s (allowed {max_slowdown:+.0%})"
+            )
+    return problems
+
+
+def load_json(path: str | Path) -> dict:
+    """Load a fleet benchmark record or baseline from disk."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def format_fleet_table(fresh: dict, baseline: dict | None = None) -> str:
+    """Fixed-width summary of a fresh record (optionally vs the baseline)."""
+    floors: dict = DEFAULT_FLOORS
+    if baseline is not None:
+        floors = baseline.get(BASELINE_SECTION, {}).get("floors", DEFAULT_FLOORS)
+    lines = [f"{'workers':<8} {'wall':>9} {'speedup':>9} {'floor':>7} {'stolen':>7} {'waits':>6}"]
+    for count, cell in sorted(fresh.get("workers", {}).items(), key=lambda item: int(item[0])):
+        speedup = fresh.get("speedup", {}).get(count)
+        stats = cell.get("stats", {})
+        lines.append(
+            f"{count:<8} {cell.get('wall_s', float('nan')):>8.2f}s "
+            f"{(f'{speedup:.2f}x' if speedup is not None else '-'):>9} "
+            f"{(f'{floors[count]:.2f}x' if count in floors else '-'):>7} "
+            f"{stats.get('stolen', 0):>7} {stats.get('waits', 0):>6}"
+        )
+    quickstart = fresh.get("quickstart")
+    if isinstance(quickstart, dict):
+        if "skipped" in quickstart:
+            lines.append(f"quickstart parity: skipped ({quickstart['skipped']})")
+        else:
+            lines.append(
+                f"quickstart parity: {'ok' if quickstart.get('parity') else 'MISMATCH'} "
+                f"(single {quickstart.get('single_wall_s', float('nan')):.1f}s, "
+                f"{quickstart.get('n_workers', 0)} workers "
+                f"{quickstart.get('fleet_wall_s', float('nan')):.1f}s)"
+            )
+    return "\n".join(lines)
+
+
+def _worker_main(argv: list[str]) -> int:
+    """Subprocess entry: drain the synthetic grid as one fleet worker."""
+    root, n_units, cost_ms, ttl_s, worker_id = (
+        Path(argv[0]),
+        int(argv[1]),
+        int(argv[2]),
+        float(argv[3]),
+        argv[4],
+    )
+    store = ArtifactStore(root)
+    manager = LeaseManager(store.root, worker_id, ttl_s=ttl_s)
+    manager.sweep_orphans()
+    keys = synthetic_unit_keys(n_units, cost_ms / 1000.0)
+    by_digest = {key_digest(UNIT_KIND, key): key for key in keys}
+
+    def is_done(digest: str) -> bool:
+        return store.path_for(UNIT_KIND, by_digest[digest]).is_file()
+
+    def compute(digest: str) -> None:
+        key = by_digest[digest]
+        if store.get(UNIT_KIND, key) is not None:
+            return
+        time.sleep(key["cost_ms"] / 1000.0)
+        store.put(UNIT_KIND, key, {"unit": key["unit"], "token": digest[:16]})
+
+    # Start barrier: post ready, then spin until the parent says go, so
+    # every worker's timed drain starts together and interpreter startup
+    # stays out of the measurement.
+    (root / f"ready-{worker_id}").touch()
+    deadline = time.monotonic() + 120.0
+    while not (root / "go").exists():
+        if time.monotonic() > deadline:
+            print("start barrier never released", file=sys.stderr)
+            return 1
+        time.sleep(0.01)
+
+    start = time.perf_counter()
+    stats = work_steal(
+        list(by_digest),
+        manager=manager,
+        is_done=is_done,
+        compute=compute,
+        poll_interval_s=0.05,
+    )
+    drain_s = time.perf_counter() - start
+    print(json.dumps({"drain_s": drain_s, **stats.as_dict()}))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    if len(sys.argv) >= 7 and sys.argv[1] == "--worker":
+        raise SystemExit(_worker_main(sys.argv[2:]))
+    raise SystemExit("usage: python -m repro.cli.bench_fleet --worker ROOT N_UNITS COST_MS TTL ID")

@@ -125,6 +125,28 @@ def run_cell(backend: str, n_samples: int) -> dict:
     }
 
 
+def check_spill_writable() -> Path:
+    """Fail fast — with one readable line — when the spill dir is unusable.
+
+    The memmap tier (and any cell subprocess) needs a writable spill
+    directory; a bad ``REPRO_DISTANCE_SPILL_DIR`` should surface as a
+    single-sentence ``RuntimeError`` at the top of the bench, not as an
+    ``OSError`` traceback from deep inside a fit.
+    """
+    from repro.core.distance_backend import spill_directory
+
+    try:
+        spill = spill_directory()
+        with tempfile.NamedTemporaryFile(dir=spill, prefix="probe-", suffix=".tmp"):
+            pass
+    except OSError as exc:
+        raise RuntimeError(
+            f"distance spill directory is not writable ({exc}); "
+            f"set {SPILL_DIR_ENV_VAR} to a writable directory"
+        ) from None
+    return spill
+
+
 def _run_cell_subprocess(backend: str, n_samples: int) -> dict:
     """Run one cell in a fresh interpreter (fresh RSS high-water, cold spill)."""
     env = dict(os.environ)
@@ -140,11 +162,18 @@ def _run_cell_subprocess(backend: str, n_samples: int) -> dict:
             text=True,
         )
     if completed.returncode != 0:
+        reason = completed.stderr.strip().splitlines()[-1] if completed.stderr.strip() else "no stderr"
         raise RuntimeError(
             f"scale-bench cell ({backend}, n={n_samples}) failed with "
-            f"exit code {completed.returncode}:\n{completed.stderr.strip()}"
+            f"exit code {completed.returncode}: {reason}"
         )
-    return json.loads(completed.stdout.strip().splitlines()[-1])
+    try:
+        return json.loads(completed.stdout.strip().splitlines()[-1])
+    except (IndexError, json.JSONDecodeError):
+        raise RuntimeError(
+            f"scale-bench cell ({backend}, n={n_samples}) produced no parseable "
+            f"measurement on stdout (stderr: {completed.stderr.strip()[-200:] or 'empty'})"
+        ) from None
 
 
 def assert_distance_backend_parity(n_samples: int = PARITY_N) -> str:
@@ -152,6 +181,7 @@ def assert_distance_backend_parity(n_samples: int = PARITY_N) -> str:
     from repro.clustering.fosc import FOSCOpticsDend
     from repro.utils.cache import clear_distance_cache
 
+    check_spill_writable()
     dataset = scale_dataset(n_samples)
     digests: dict[str, str] = {}
     for backend in DISTANCE_BACKENDS:
@@ -230,7 +260,9 @@ def run_bench_scale(
         if unknown:
             raise ValueError(f"unknown size(s) {', '.join(unknown)}; expected {', '.join(SCALE_SIZES)}")
 
-    # Parity first; timings are only recorded for runs whose labels agree.
+    # Preflight the spill dir, then parity; timings are only recorded for
+    # runs whose labels agree.
+    check_spill_writable()
     assert_distance_backend_parity()
     if not skip_executor_parity:
         assert_executor_parity()
@@ -399,9 +431,20 @@ def format_scale_table(
 
 
 def _cell_main(argv: list[str]) -> int:
-    """Subprocess entry: run one cell and print its JSON measurement."""
+    """Subprocess entry: run one cell and print its JSON measurement.
+
+    Failures (unwritable spill dir, OOM-killed allocations surfacing as
+    ``MemoryError``/``OSError``) exit 1 with a one-line reason on stderr,
+    which the parent folds into its own one-line ``RuntimeError``.
+    """
     backend, n_samples = argv[0], int(argv[1])
-    print(json.dumps(run_cell(backend, n_samples)))
+    try:
+        check_spill_writable()
+        measurement = run_cell(backend, n_samples)
+    except (RuntimeError, OSError, MemoryError) as exc:
+        print(f"{type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(measurement))
     return 0
 
 

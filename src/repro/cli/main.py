@@ -11,12 +11,14 @@ from pathlib import Path
 import numpy as np
 
 from repro.cli import bench as bench_module
+from repro.cli import bench_fleet as bench_fleet_module
 from repro.cli import bench_kernels as bench_kernels_module
 from repro.cli import bench_scale as bench_scale_module
 from repro.core.distance_backend import DISTANCE_BACKENDS
 from repro.core.executor import BACKENDS
 from repro.datasets.registry import DATASET_NAMES, get_dataset
 from repro.experiments.artifacts import ArtifactStore
+from repro.experiments.fleet import fleet_status, format_fleet_status, run_worker
 from repro.experiments.pipeline import (
     ConfigError,
     load_pipeline_spec,
@@ -27,7 +29,7 @@ from repro.experiments.reporting import format_table
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """Build the ``repro`` argument parser with all five subcommands."""
+    """Build the ``repro`` argument parser with all of its subcommands."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
@@ -57,6 +59,82 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet",
         action="store_true",
         help="suppress the rendered report on stdout",
+    )
+    run_parser.add_argument(
+        "--worker",
+        action="store_true",
+        help=(
+            "join a work-stealing fleet: claim (trial x cell) units via lease files in "
+            "the shared artifact store, then render reports entirely from cache "
+            "(bit-identical to a single-process run; launch any number of these)"
+        ),
+    )
+    run_parser.add_argument(
+        "--worker-id",
+        metavar="ID",
+        help="stable worker identity for leases and the status view (default: host-pid-nonce)",
+    )
+    run_parser.add_argument(
+        "--lease-ttl",
+        type=float,
+        metavar="SECONDS",
+        help="override [fleet] lease_ttl_s: heartbeat-less age after which a lease is stealable",
+    )
+    run_parser.add_argument(
+        "--poll-interval",
+        type=float,
+        metavar="SECONDS",
+        help="override [fleet] poll_interval_s: sleep between no-progress passes",
+    )
+
+    status_parser = subparsers.add_parser(
+        "status",
+        help="show fleet progress for a pipeline config (units, leases, workers)",
+        description=(
+            "Point-in-time fleet view of a pipeline's shared artifact store: how many "
+            "grid units are done, which leases are held or stale, and the liveness and "
+            "steal counters of every registered worker."
+        ),
+    )
+    status_parser.add_argument("config", help="path to a .toml or .json pipeline config")
+    status_parser.add_argument(
+        "--artifacts-root",
+        metavar="DIR",
+        help="override the artifact-store location from the config",
+    )
+    status_parser.add_argument(
+        "--json",
+        dest="json_out",
+        action="store_true",
+        help="emit the status record as JSON instead of the terminal view",
+    )
+
+    dashboard_parser = subparsers.add_parser(
+        "dashboard",
+        help="render the static-HTML quality dashboard from BENCH_*.json + run artifacts",
+        description=(
+            "Generate a self-contained HTML dashboard: bench trajectory across the "
+            "committed BENCH_*.json baselines, per-grid completion and worker liveness "
+            "from an artifact store, cache hit/miss/steal rates, and selection-accuracy "
+            "drift from stored run summaries."
+        ),
+    )
+    dashboard_parser.add_argument(
+        "--out",
+        metavar="PATH",
+        default="dashboard.html",
+        help="where to write the HTML (default: dashboard.html)",
+    )
+    dashboard_parser.add_argument(
+        "--bench-dir",
+        metavar="DIR",
+        default=".",
+        help="directory scanned for BENCH_*.json records (default: current directory)",
+    )
+    dashboard_parser.add_argument(
+        "--artifacts-root",
+        metavar="DIR",
+        help="artifact store to report fleet/worker/run state from (optional)",
     )
 
     report_parser = subparsers.add_parser(
@@ -258,6 +336,79 @@ def build_parser() -> argparse.ArgumentParser:
         help="allowed fractional peak-RSS growth vs baseline (default: 0.35)",
     )
 
+    fleet_parser = bench_subparsers.add_parser(
+        "fleet",
+        help="benchmark work-stealing wall-clock vs worker count (1/2/4)",
+        description=(
+            "Drain a grid of fixed-cost synthetic units through the real lease/steal/store "
+            "machinery at several worker counts (each worker a fresh subprocess sharing one "
+            "store), recording wall-clock, speedup and store parity; optionally also run the "
+            "quickstart pipeline single-process vs 2-worker and assert summary.json "
+            "byte-identity. Gate the record against the committed BENCH_fleet.json baseline "
+            "(exit 1 when a speedup drops below its floor or any parity bit is false)."
+        ),
+    )
+    # Like ``scale``, this subparser uses its own dests (fleet_*) so the
+    # parent ``bench`` parser's shared-flag defaults cannot clobber it.
+    fleet_parser.add_argument(
+        "--workers",
+        dest="fleet_workers",
+        default=",".join(str(count) for count in bench_fleet_module.FLEET_BENCH_WORKER_COUNTS),
+        help=(
+            "comma-separated worker counts to measure (default: "
+            f"{','.join(str(count) for count in bench_fleet_module.FLEET_BENCH_WORKER_COUNTS)})"
+        ),
+    )
+    fleet_parser.add_argument(
+        "--units",
+        dest="fleet_units",
+        type=int,
+        default=bench_fleet_module.N_UNITS,
+        help=f"synthetic units in the scheduling grid (default: {bench_fleet_module.N_UNITS})",
+    )
+    fleet_parser.add_argument(
+        "--unit-cost",
+        dest="fleet_unit_cost",
+        type=float,
+        default=bench_fleet_module.UNIT_COST_S,
+        metavar="SECONDS",
+        help=f"fixed wall-clock cost per unit (default: {bench_fleet_module.UNIT_COST_S})",
+    )
+    fleet_parser.add_argument(
+        "--no-quickstart",
+        dest="fleet_no_quickstart",
+        action="store_true",
+        help="skip the real-grid quickstart parity section (scheduling grid only)",
+    )
+    fleet_parser.add_argument(
+        "--json",
+        dest="fleet_json",
+        metavar="PATH",
+        default=None,
+        help="write the fresh record to PATH",
+    )
+    fleet_parser.add_argument(
+        "--compare",
+        dest="fleet_compare",
+        metavar="FRESH",
+        default=None,
+        help="load a fresh fleet record instead of running the benchmark",
+    )
+    fleet_parser.add_argument(
+        "--baseline",
+        dest="fleet_baseline",
+        metavar="PATH",
+        default=None,
+        help="baseline JSON to gate against (e.g. BENCH_fleet.json)",
+    )
+    fleet_parser.add_argument(
+        "--max-slowdown",
+        dest="fleet_max_slowdown",
+        type=float,
+        default=0.75,
+        help="allowed fractional 1-worker wall-clock slowdown vs baseline (default: 0.75)",
+    )
+
     datasets_parser = subparsers.add_parser("datasets", help="inspect the data-set registry")
     datasets_subparsers = datasets_parser.add_subparsers(dest="datasets_command", required=True)
     datasets_subparsers.add_parser("list", help="list registered data sets with their shapes")
@@ -307,20 +458,75 @@ def _command_run(args: argparse.Namespace, *, reports_only: bool = False) -> int
         spec = spec.with_overrides(artifacts_root=Path(args.artifacts_root))
     refresh = bool(getattr(args, "force", False))
     store = ArtifactStore(spec.artifacts_root, refresh=refresh)
-    result = run_pipeline(
-        spec,
-        store=store,
-        backend=args.backend,
-        n_jobs=args.n_jobs,
-        distance_backend=args.distance_backend,
-    )
-
     quiet = bool(getattr(args, "quiet", False)) or reports_only
+
+    if getattr(args, "worker", False):
+        if refresh:
+            # Fleet completion is "the artifact exists"; a refresh-mode
+            # store would declare every unit permanently unfinished.
+            print("--force cannot be combined with --worker", file=sys.stderr)
+            return 2
+        settings = spec.fleet.with_overrides(
+            lease_ttl_s=getattr(args, "lease_ttl", None),
+            poll_interval_s=getattr(args, "poll_interval", None),
+        )
+        report = run_worker(
+            spec,
+            store=store,
+            settings=settings,
+            worker_id=getattr(args, "worker_id", None),
+            log=None if quiet else print,
+        )
+        result = report.result
+    else:
+        result = run_pipeline(
+            spec,
+            store=store,
+            backend=args.backend,
+            n_jobs=args.n_jobs,
+            distance_backend=args.distance_backend,
+        )
+
     if not quiet:
         print(result.report_text)
     print(store.describe_stats())
     for path in result.report_paths:
         print(f"wrote {path}")
+    return 0
+
+
+def _command_status(args: argparse.Namespace) -> int:
+    try:
+        spec = load_pipeline_spec(args.config)
+    except ConfigError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"cannot read config {args.config}: {exc}", file=sys.stderr)
+        return 2
+    if args.artifacts_root:
+        spec = spec.with_overrides(artifacts_root=Path(args.artifacts_root))
+    status = fleet_status(spec)
+    if args.json_out:
+        print(json.dumps(status.as_dict(), sort_keys=True, indent=2))
+    else:
+        print(format_fleet_status(status))
+    return 0
+
+
+def _command_dashboard(args: argparse.Namespace) -> int:
+    from repro.experiments.dashboard import write_dashboard
+
+    try:
+        path = write_dashboard(
+            args.out,
+            bench_dir=args.bench_dir,
+            artifacts_root=args.artifacts_root,
+        )
+    except OSError as exc:
+        print(f"cannot write dashboard: {exc}", file=sys.stderr)
+        return 1
+    print(f"wrote {path}")
     return 0
 
 
@@ -402,7 +608,9 @@ def _command_bench_scale(args: argparse.Namespace) -> int:
             try:
                 bench_scale_module.assert_distance_backend_parity()
                 bench_scale_module.assert_executor_parity()
-            except (RuntimeError, ValueError) as exc:
+            except (RuntimeError, ValueError, OSError) as exc:
+                # OSError covers an unwritable spill directory: one line on
+                # stderr, not a traceback (the bench smokes grep for this).
                 print(exc, file=sys.stderr)
                 return 1
             print("distance-backend and executor parity ok (labels bit-identical)")
@@ -416,7 +624,7 @@ def _command_bench_scale(args: argparse.Namespace) -> int:
             }
         try:
             record = bench_scale_module.run_bench_scale(backends, sizes, rounds=args.scale_rounds)
-        except (RuntimeError, ValueError) as exc:
+        except (RuntimeError, ValueError, OSError) as exc:
             print(exc, file=sys.stderr)
             return 2 if isinstance(exc, ValueError) else 1
         if args.scale_json:
@@ -454,11 +662,78 @@ def _command_bench_scale(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_bench_fleet(args: argparse.Namespace) -> int:
+    expected_counts = None
+    if args.fleet_compare:
+        if args.fleet_json:
+            print(
+                "--json records a live benchmark run and cannot be combined with --compare "
+                "(the fresh record already exists on disk)",
+                file=sys.stderr,
+            )
+            return 2
+        record = bench_fleet_module.load_json(args.fleet_compare)
+    else:
+        try:
+            counts = tuple(
+                int(token.strip()) for token in args.fleet_workers.split(",") if token.strip()
+            )
+        except ValueError:
+            print(f"--workers must be comma-separated integers, got {args.fleet_workers!r}", file=sys.stderr)
+            return 2
+        # A deliberate subset run is gated only on the counts it covers.
+        expected_counts = tuple(str(count) for count in counts)
+        try:
+            record = bench_fleet_module.run_bench_fleet(
+                counts,
+                n_units=args.fleet_units,
+                unit_cost_s=args.fleet_unit_cost,
+                include_quickstart=not args.fleet_no_quickstart,
+            )
+        except (RuntimeError, ValueError, OSError) as exc:
+            print(exc, file=sys.stderr)
+            return 2 if isinstance(exc, ValueError) else 1
+        if args.fleet_json:
+            Path(args.fleet_json).write_text(
+                json.dumps(record, sort_keys=True, indent=2) + "\n",
+                encoding="utf-8",
+            )
+            print(f"wrote {args.fleet_json}")
+
+    try:
+        fresh = bench_fleet_module.normalize_record(record)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    baseline = bench_fleet_module.load_json(args.fleet_baseline) if args.fleet_baseline else None
+    print(bench_fleet_module.format_fleet_table(fresh, baseline))
+
+    if baseline is not None:
+        problems = bench_fleet_module.compare_records(
+            fresh,
+            baseline,
+            max_slowdown=args.fleet_max_slowdown,
+            expected_counts=expected_counts,
+        )
+        if problems:
+            print("fleet benchmark regression detected:", file=sys.stderr)
+            for problem in problems:
+                print(f"  - {problem}", file=sys.stderr)
+            return 1
+        print(
+            "fleet benchmark within baseline (speedup floors met, parity bit-identical, "
+            f"max slowdown {args.fleet_max_slowdown:.0%})"
+        )
+    return 0
+
+
 def _command_bench(args: argparse.Namespace) -> int:
     if getattr(args, "bench_target", None) == "kernels":
         return _command_bench_kernels(args)
     if getattr(args, "bench_target", None) == "scale":
         return _command_bench_scale(args)
+    if getattr(args, "bench_target", None) == "fleet":
+        return _command_bench_fleet(args)
     expected_backends = None
     if args.compare:
         if args.json_out:
@@ -554,6 +829,10 @@ def main(argv: list[str] | None = None) -> int:
             return _command_run(args)
         if args.command == "report":
             return _command_run(args, reports_only=True)
+        if args.command == "status":
+            return _command_status(args)
+        if args.command == "dashboard":
+            return _command_dashboard(args)
         if args.command == "bench":
             return _command_bench(args)
         if args.command == "datasets":

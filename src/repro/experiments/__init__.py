@@ -22,6 +22,11 @@
   artifact store persisting per-trial results.
 * :mod:`repro.experiments.pipeline` — declarative TOML/JSON pipeline specs
   and the driver behind the ``repro`` CLI.
+* :mod:`repro.experiments.fleet` — work-stealing fleet orchestration:
+  lease files over the artifact store, unit enumeration, worker registry
+  and the ``repro run --worker`` / ``repro status`` machinery.
+* :mod:`repro.experiments.dashboard` — the static-HTML quality dashboard
+  behind ``repro dashboard``.
 """
 
 from repro.experiments.artifacts import (
@@ -74,6 +79,20 @@ from repro.experiments.ablation import (
     closure_leakage_ablation,
     fold_count_ablation,
     scorer_ablation,
+)
+from repro.experiments.dashboard import render_dashboard, write_dashboard
+from repro.experiments.fleet import (
+    FleetSettings,
+    FleetStats,
+    FleetStatus,
+    LeaseManager,
+    TrialUnit,
+    WorkerRunReport,
+    enumerate_units,
+    fleet_status,
+    format_fleet_status,
+    run_worker,
+    work_steal,
 )
 from repro.experiments.reporting import (
     format_table,
@@ -131,4 +150,17 @@ __all__ = [
     "format_comparison_table",
     "format_boxplot_summary",
     "format_robustness_table",
+    "FleetSettings",
+    "FleetStats",
+    "FleetStatus",
+    "LeaseManager",
+    "TrialUnit",
+    "WorkerRunReport",
+    "enumerate_units",
+    "fleet_status",
+    "format_fleet_status",
+    "run_worker",
+    "work_steal",
+    "render_dashboard",
+    "write_dashboard",
 ]

@@ -25,6 +25,8 @@ Layout on disk (all writes are atomic rename-into-place)::
     <root>/
         <kind>/<digest[:2]>/<digest>.json   # one artifact per key
         reports/<name>/                     # rendered reports (see reporting)
+        fleet/leases/<digest>.lease         # work-stealing leases (see fleet)
+        fleet/workers/<worker_id>.json      # worker liveness registry
 
 where ``digest`` is the SHA-256 of the canonical JSON encoding of the key,
 i.e. the store is content-addressed by *key*, and artifact payloads
@@ -187,7 +189,13 @@ class ArtifactStore:
         if kind is not None:
             kinds = [kind]
         else:
-            kinds = [e.name for e in self.root.iterdir() if e.is_dir() and e.name != "reports"]
+            # "reports" holds rendered output and "fleet" holds worker
+            # leases/registry files — neither is a content-addressed kind.
+            kinds = [
+                e.name
+                for e in self.root.iterdir()
+                if e.is_dir() and e.name not in ("reports", "fleet")
+            ]
         total = 0
         for name in kinds:
             total += sum(1 for _ in (self.root / name).glob("*/*.json"))

@@ -79,6 +79,7 @@ from repro.experiments.config import (
 )
 from repro.experiments.correlation import correlation_table
 from repro.experiments.figures import parameter_curves
+from repro.experiments.fleet import FleetSettings
 from repro.experiments.reporting import (
     format_comparison_table,
     format_correlation_table,
@@ -152,6 +153,8 @@ class PipelineSpec:
     flip_rates: tuple[float, ...] = DEFAULT_FLIP_RATES
     #: Closure-consistency repair for the ``robustness`` sweep's oracle.
     oracle_repair: bool = False
+    #: Work-stealing knobs for ``repro run --worker`` (``[fleet]`` table).
+    fleet: FleetSettings = FleetSettings()
     source: Path | None = None
 
     def with_overrides(self, **overrides) -> "PipelineSpec":
@@ -212,7 +215,7 @@ def validate_pipeline_mapping(raw: dict, source: str) -> tuple[PipelineSpec | No
     """
     problems: list[str] = []
 
-    known_tables = ("experiment", "parameters", "oracle", "execution", "artifacts", "report")
+    known_tables = ("experiment", "parameters", "oracle", "execution", "artifacts", "report", "fleet")
     for table in raw:
         if table not in known_tables:
             problems.append(f"unknown table [{table}] (expected one of {', '.join(known_tables)})")
@@ -433,6 +436,24 @@ def validate_pipeline_mapping(raw: dict, source: str) -> tuple[PipelineSpec | No
             else:
                 artifacts_root = value
 
+    fleet_table = raw.get("fleet", {})
+    fleet_settings = FleetSettings()
+    if isinstance(fleet_table, dict):
+        known_fleet_keys = ("lease_ttl_s", "poll_interval_s")
+        for key in fleet_table:
+            if key not in known_fleet_keys:
+                problems.append(f"fleet.{key}: unknown key (expected {', '.join(known_fleet_keys)})")
+        fleet_kwargs: dict[str, float] = {}
+        for key in known_fleet_keys:
+            if key not in fleet_table:
+                continue
+            value = fleet_table[key]
+            if isinstance(value, bool) or not isinstance(value, (int, float)) or value <= 0:
+                problems.append(f"fleet.{key}: must be a positive number of seconds, got {value!r}")
+            else:
+                fleet_kwargs[key] = float(value)
+        fleet_settings = FleetSettings(**fleet_kwargs)
+
     report = raw.get("report", {})
     report_formats: tuple[str, ...] = REPORT_FORMATS
     if isinstance(report, dict):
@@ -483,6 +504,7 @@ def validate_pipeline_mapping(raw: dict, source: str) -> tuple[PipelineSpec | No
         oracle=oracle,
         flip_rates=flip_rates,
         oracle_repair=oracle_repair,
+        fleet=fleet_settings,
         source=None,
     )
     return spec, []

@@ -273,3 +273,82 @@ class TestMalformedResults:
         )
         assert main(["bench", "scale", "--compare", str(record_path)]) == 2
         assert "truncated artifact" in capsys.readouterr().err
+
+
+class TestSpillFailFast:
+    def test_check_spill_writable_raises_one_line(self, tmp_path, monkeypatch):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file, not a directory", encoding="utf-8")
+        monkeypatch.setenv(SPILL_DIR_ENV_VAR, str(blocker))
+        with pytest.raises(RuntimeError, match="spill directory is not writable") as excinfo:
+            bench_scale.check_spill_writable()
+        message = str(excinfo.value)
+        assert "\n" not in message
+        assert SPILL_DIR_ENV_VAR in message
+        # Fail fast means before any cell runs: the chained OSError is consumed.
+        assert excinfo.value.__cause__ is None
+
+    def test_parity_only_cli_fails_with_reason_not_traceback(self, tmp_path, monkeypatch, capsys):
+        # The CI bench smokes grep stderr for this exact failure shape.
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file, not a directory", encoding="utf-8")
+        monkeypatch.setenv(SPILL_DIR_ENV_VAR, str(blocker))
+        assert main(["bench", "scale", "--parity-only"]) == 1
+        err = capsys.readouterr().err
+        assert "spill directory is not writable" in err
+        assert "Traceback" not in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_run_bench_scale_fails_fast(self, tmp_path, monkeypatch):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file, not a directory", encoding="utf-8")
+        monkeypatch.setenv(SPILL_DIR_ENV_VAR, str(blocker))
+        with pytest.raises(RuntimeError, match="spill directory is not writable"):
+            bench_scale.run_bench_scale(backends=("dense",), sizes=("n1200",))
+
+
+class TestCellSubprocessHardening:
+    class _Completed:
+        def __init__(self, returncode=0, stdout="", stderr=""):
+            self.returncode = returncode
+            self.stdout = stdout
+            self.stderr = stderr
+
+    def test_garbage_stdout_is_a_runtime_error(self, monkeypatch):
+        monkeypatch.setattr(
+            bench_scale.subprocess,
+            "run",
+            lambda *args, **kwargs: self._Completed(stdout="not json at all"),
+        )
+        with pytest.raises(RuntimeError, match="no parseable measurement"):
+            bench_scale._run_cell_subprocess("dense", 100)
+
+    def test_empty_stdout_is_a_runtime_error(self, monkeypatch):
+        monkeypatch.setattr(
+            bench_scale.subprocess,
+            "run",
+            lambda *args, **kwargs: self._Completed(stdout="", stderr="cell died"),
+        )
+        with pytest.raises(RuntimeError, match="no parseable measurement"):
+            bench_scale._run_cell_subprocess("dense", 100)
+
+    def test_nonzero_exit_reports_last_stderr_line(self, monkeypatch):
+        monkeypatch.setattr(
+            bench_scale.subprocess,
+            "run",
+            lambda *args, **kwargs: self._Completed(
+                returncode=1, stderr="noise\nMemoryError: out of memory"
+            ),
+        )
+        with pytest.raises(RuntimeError, match="MemoryError: out of memory") as excinfo:
+            bench_scale._run_cell_subprocess("memmap", 100)
+        assert "noise" not in str(excinfo.value)
+
+    def test_cell_main_prints_one_line_on_failure(self, monkeypatch, capsys):
+        def explode(backend, n_samples, rounds=1):
+            raise RuntimeError("synthetic cell failure")
+
+        monkeypatch.setattr(bench_scale, "run_cell", explode)
+        assert bench_scale._cell_main(["dense", "100"]) == 1
+        err = capsys.readouterr().err
+        assert err.strip() == "RuntimeError: synthetic cell failure"

@@ -94,6 +94,8 @@ class TestMkdocstringsDirectives:
             "repro.experiments.robustness",
             "repro.experiments.artifacts",
             "repro.experiments.pipeline",
+            "repro.experiments.fleet",
+            "repro.experiments.dashboard",
             "repro.cli.main",
         ):
             assert f"::: {module}" in text, f"{module} missing from the API reference"
@@ -128,8 +130,37 @@ class TestSchemaDocsInSync:
         cli_page = (DOCS_DIR / "cli.md").read_text(encoding="utf-8")
         for command in ("repro run", "repro report", "repro bench",
                         "repro bench kernels", "repro bench scale",
+                        "repro bench fleet", "repro status", "repro dashboard",
                         "repro datasets list", "repro validate-config"):
             assert command in cli_page
+
+    def test_fleet_worker_flags_are_documented(self):
+        cli_page = (DOCS_DIR / "cli.md").read_text(encoding="utf-8")
+        for flag in ("--worker", "--worker-id", "--lease-ttl", "--poll-interval"):
+            assert flag in cli_page
+
+    def test_fleet_config_table_is_documented(self):
+        from dataclasses import fields
+
+        from repro.experiments.fleet import FleetSettings
+
+        config_page = (DOCS_DIR / "config.md").read_text(encoding="utf-8")
+        assert "`[fleet]`" in config_page
+        for field in fields(FleetSettings):
+            assert f"`{field.name}`" in config_page, f"fleet key {field.name} undocumented"
+
+    def test_fleet_page_covers_the_protocol(self):
+        fleet_page = (DOCS_DIR / "fleet.md").read_text(encoding="utf-8")
+        for term in ("O_CREAT|O_EXCL", "Heartbeat", "Steal", "byte-identical",
+                     "SIGKILL", "lease_ttl_s", "poll_interval_s",
+                     "repro status", "repro dashboard", "BENCH_fleet.json"):
+            assert term in fleet_page, f"fleet.md missing {term!r}"
+
+    def test_architecture_page_covers_the_fleet_layer(self):
+        architecture_page = (DOCS_DIR / "architecture.md").read_text(encoding="utf-8")
+        assert "repro.experiments.fleet" in architecture_page
+        assert "Fleet" in architecture_page  # the component diagram row
+        assert "work-stealing" in architecture_page
 
     def test_execution_distance_backend_key_is_documented(self):
         config_page = (DOCS_DIR / "config.md").read_text(encoding="utf-8")
