@@ -25,9 +25,10 @@ from pathlib import Path
 from repro.clustering.fosc import FOSCOpticsDend
 from repro.constraints.generation import sample_labeled_objects
 from repro.core.cvcp import CVCP
-from repro.core.executor import BACKENDS
+from repro.core.executor import BACKENDS, ExecutionSpec
 from repro.datasets.synthetic import make_blobs
 from repro.utils.cache import clear_distance_cache
+from repro.utils.specs import SpecError, check_spec_mapping
 
 #: The fixed grid every bench run uses (also imported by
 #: ``benchmarks/bench_parallel_backends.py``) and recorded in the
@@ -63,8 +64,7 @@ def run_grid(backend: str, n_jobs: int | None = 2) -> tuple[dict, list[list[floa
         parameter_values=list(BENCH_MINPTS_VALUES),
         n_folds=BENCH_N_FOLDS,
         random_state=BENCH_SEED,
-        n_jobs=n_jobs,
-        backend=backend,
+        execution=ExecutionSpec(backend=backend, n_jobs=n_jobs),
     )
     search.fit(dataset.X, labeled_objects=side)
     fold_scores = [list(evaluation.fold_scores) for evaluation in search.cv_results_.evaluations]
@@ -154,6 +154,26 @@ def normalize_record(record: dict) -> dict[str, dict]:
             raise ValueError("pytest-benchmark record contains no recognised backend benchmarks")
         return normalized
     raise ValueError("unrecognised benchmark record (expected repro-bench or pytest-benchmark JSON)")
+
+
+def to_spec(record: dict) -> dict:
+    """The benchmark record as a JSON-ready mapping (records already are specs)."""
+    return dict(record)
+
+
+def from_spec(spec: object) -> dict[str, dict]:
+    """Validate and normalise a benchmark record mapping.
+
+    Spec-protocol counterpart of :func:`normalize_record`: raises
+    :class:`repro.utils.specs.SpecError` (with all problems collected)
+    instead of a bare ``ValueError``, so bench records validate like any
+    other spec table.
+    """
+    checked = check_spec_mapping(spec, "bench record")
+    try:
+        return normalize_record(dict(checked))
+    except ValueError as exc:
+        raise SpecError("bench record", [str(exc)]) from exc
 
 
 def compare_records(

@@ -44,6 +44,7 @@ from pathlib import Path
 
 from repro.experiments.artifacts import ArtifactStore, key_digest
 from repro.experiments.fleet import LeaseManager, work_steal
+from repro.utils.specs import SpecError, check_spec_mapping
 
 #: Worker counts measured by default.
 FLEET_BENCH_WORKER_COUNTS: tuple[int, ...] = (1, 2, 4)
@@ -338,6 +339,24 @@ def normalize_record(record: dict) -> dict:
     if not isinstance(record.get("speedup"), dict):
         raise ValueError("malformed fleet benchmark record: missing its 'speedup' section")
     return record
+
+
+def to_spec(record: dict) -> dict:
+    """The fleet benchmark record as a JSON-ready mapping."""
+    return dict(record)
+
+
+def from_spec(spec: object) -> dict:
+    """Validate a fleet benchmark record mapping.
+
+    Spec-protocol counterpart of :func:`normalize_record`: raises
+    :class:`repro.utils.specs.SpecError` instead of a bare ``ValueError``.
+    """
+    checked = check_spec_mapping(spec, "fleet bench record")
+    try:
+        return normalize_record(dict(checked))
+    except ValueError as exc:
+        raise SpecError("fleet bench record", [str(exc)]) from exc
 
 
 def compare_records(

@@ -44,6 +44,7 @@ from repro.constraints.closure import transitive_closure
 from repro.constraints.constraint import MUST_LINK
 from repro.constraints.generation import constraints_from_labels, sample_labeled_objects
 from repro.datasets.synthetic import make_blobs
+from repro.utils.specs import SpecError, check_spec_mapping
 
 #: The four timed kernels, in pipeline order.
 KERNEL_NAMES = ("optics", "single_linkage", "fosc", "mpck_assign")
@@ -264,6 +265,24 @@ def normalize_record(record: dict) -> dict[str, dict[str, dict]]:
             "malformed kernel benchmark record: missing its 'results' section"
         )
     return results
+
+
+def to_spec(record: dict) -> dict:
+    """The kernel benchmark record as a JSON-ready mapping."""
+    return dict(record)
+
+
+def from_spec(spec: object) -> dict[str, dict[str, dict]]:
+    """Validate and normalise a kernel benchmark record mapping.
+
+    Spec-protocol counterpart of :func:`normalize_record`: raises
+    :class:`repro.utils.specs.SpecError` instead of a bare ``ValueError``.
+    """
+    checked = check_spec_mapping(spec, "kernel bench record")
+    try:
+        return normalize_record(dict(checked))
+    except ValueError as exc:
+        raise SpecError("kernel bench record", [str(exc)]) from exc
 
 
 def compare_records(

@@ -42,6 +42,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.distance_backend import DISTANCE_BACKENDS, SPILL_DIR_ENV_VAR
+from repro.utils.specs import SpecError, check_spec_mapping
 
 #: Benchmark problem sizes (number of objects).
 SCALE_SIZES: dict[str, int] = {"n1200": 1200, "n5000": 5000, "n10000": 10000}
@@ -202,7 +203,7 @@ def assert_executor_parity(n_samples: int = 240) -> None:
     from repro.clustering.fosc import FOSCOpticsDend
     from repro.constraints.generation import sample_labeled_objects
     from repro.core.cvcp import CVCP
-    from repro.core.executor import BACKENDS
+    from repro.core.executor import BACKENDS, ExecutionSpec
     from repro.utils.cache import clear_distance_cache
 
     dataset = scale_dataset(n_samples)
@@ -216,9 +217,9 @@ def assert_executor_parity(n_samples: int = 240) -> None:
                 parameter_values=[3, 6, 9],
                 n_folds=3,
                 random_state=SCALE_SEED,
-                backend=executor,
-                n_jobs=2,
-                distance_backend=distance_backend,
+                execution=ExecutionSpec(
+                    backend=executor, n_jobs=2, distance_backend=distance_backend
+                ),
             )
             search.fit(dataset.X, labeled_objects=labeled)
             observed = {
@@ -322,6 +323,24 @@ def normalize_record(record: dict) -> dict[str, dict[str, dict]]:
                 "mapping of size -> cell (truncated artifact?)"
             )
     return results
+
+
+def to_spec(record: dict) -> dict:
+    """The scale benchmark record as a JSON-ready mapping."""
+    return dict(record)
+
+
+def from_spec(spec: object) -> dict[str, dict[str, dict]]:
+    """Validate and normalise a scale benchmark record mapping.
+
+    Spec-protocol counterpart of :func:`normalize_record`: raises
+    :class:`repro.utils.specs.SpecError` instead of a bare ``ValueError``.
+    """
+    checked = check_spec_mapping(spec, "scale bench record")
+    try:
+        return normalize_record(dict(checked))
+    except ValueError as exc:
+        raise SpecError("scale bench record", [str(exc)]) from exc
 
 
 def compare_records(

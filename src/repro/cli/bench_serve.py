@@ -1,0 +1,374 @@
+"""Load benchmark + regression gate for the ``repro serve`` HTTP layer.
+
+``repro bench serve`` measures the service qualities the serve layer
+promises, on a real server bound to an ephemeral loopback port:
+
+* **latency** — single-client ``GET /v1/health`` round-trips through the
+  full stdlib HTTP stack: requests/sec, p50 and p99 milliseconds;
+* **dedup** — ``--clients`` concurrent clients (default 8) POST the same
+  tiny pipeline spec; exactly one job may run, the rest must join it
+  (``duplicates_absorbed`` is gated to ``clients - 1``);
+* **cache** — a second wave of the same spec after the first completes
+  must be served entirely from cached trials (``cache_hit_rate`` over
+  the trial artifacts of the resubmitted job, floored at 0.99);
+* **parity** — the bytes of ``GET /v1/jobs/{id}/report?format=json``
+  must equal the ``summary.json`` a batch :func:`repro.api.run_pipeline`
+  of the same spec writes into a different artifacts root.
+
+The fresh record is gated against the committed ``BENCH_serve.json``
+baseline by :func:`compare_records`: the behavioural bits (parity,
+dedup) are hard requirements, the floors travel inside the baseline, and
+p99 latency gets a generous ``--max-slowdown`` budget because CI runners
+share cores.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import statistics
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.utils.specs import SpecError, check_spec_mapping
+
+__all__ = [
+    "BASELINE_SECTION",
+    "DEFAULT_FLOORS",
+    "N_CLIENTS",
+    "N_REQUESTS",
+    "bench_job_spec",
+    "compare_records",
+    "format_serve_table",
+    "from_spec",
+    "load_json",
+    "normalize_record",
+    "run_bench_serve",
+    "to_spec",
+]
+
+#: Section of the committed baseline JSON holding the serve record.
+BASELINE_SECTION = "bench_serve"
+
+#: Concurrent submitting clients in the dedup wave (the acceptance bar).
+N_CLIENTS = 8
+
+#: Single-client health-check round-trips in the latency phase.
+N_REQUESTS = 200
+
+#: Machine-independent floors; committed inside the baseline record so a
+#: baseline refresh can tighten them without touching code.
+DEFAULT_FLOORS = {"cache_hit_rate": 0.99, "requests_per_s": 25.0}
+
+
+def bench_job_spec() -> dict:
+    """The tiny pipeline spec every bench client submits (seconds to run)."""
+    return {
+        "experiment": {
+            "name": "serve-bench",
+            "kind": "comparison",
+            "algorithm": "fosc",
+            "scenario": "labels",
+            "amounts": [0.2],
+            "datasets": ["Iris"],
+            "seed": 20140324,
+        },
+        "parameters": {"n_trials": 2, "n_folds": 3, "minpts_range": [3, 6]},
+        "report": {"formats": ["json"]},
+    }
+
+
+def _percentile(samples: list[float], fraction: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _measure_latency(client, n_requests: int) -> dict:
+    """Single-client GET /v1/health round-trip statistics."""
+    samples: list[float] = []
+    start = time.perf_counter()
+    for _ in range(n_requests):
+        tick = time.perf_counter()
+        client.health()
+        samples.append((time.perf_counter() - tick) * 1e3)
+    wall_s = time.perf_counter() - start
+    return {
+        "requests": int(n_requests),
+        "wall_s": wall_s,
+        "requests_per_s": n_requests / wall_s if wall_s > 0 else 0.0,
+        "p50_ms": statistics.median(samples),
+        "p99_ms": _percentile(samples, 0.99),
+    }
+
+
+def _submit_wave(client_factory, payload: dict, n_clients: int) -> tuple[list[dict], float]:
+    """POST ``payload`` from ``n_clients`` threads at once; returns the views."""
+    barrier = threading.Barrier(n_clients)
+    views: list[dict | None] = [None] * n_clients
+    errors: list[BaseException] = []
+
+    def post(slot: int) -> None:
+        client = client_factory()
+        barrier.wait()
+        try:
+            views[slot] = client.submit(payload)
+        except BaseException as exc:  # noqa: BLE001 - reported, not swallowed
+            errors.append(exc)
+
+    threads = [threading.Thread(target=post, args=(slot,)) for slot in range(n_clients)]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall_s = time.perf_counter() - start
+    if errors:
+        raise RuntimeError(f"serve bench wave failed: {errors[0]}") from errors[0]
+    return [view for view in views if view is not None], wall_s
+
+
+def run_bench_serve(
+    *,
+    clients: int = N_CLIENTS,
+    requests: int = N_REQUESTS,
+    workers: int = 2,
+) -> dict:
+    """Run the serve load benchmark and return a fresh record.
+
+    Everything happens against throwaway temp directories: an in-process
+    server (ephemeral port) with its own artifacts root, plus a second
+    root for the batch-run parity check.
+    """
+    from repro import api
+    from repro.serve import ServeClient, ServeSettings, make_server
+
+    if clients < 2:
+        raise ValueError(f"--clients must be at least 2 to measure dedup, got {clients}")
+    payload = bench_job_spec()
+    with tempfile.TemporaryDirectory(prefix="repro-bench-serve-") as tmp:
+        serve_root = Path(tmp) / "serve-store"
+        parity_root = Path(tmp) / "batch-store"
+        settings = ServeSettings(port=0, workers=workers, max_pending=max(32, clients + 1))
+        server = make_server(serve_root, settings)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            make_client = lambda: ServeClient(server.url, timeout=60.0)  # noqa: E731
+            client = make_client()
+
+            # Warm the server process with a throwaway job (different seed,
+            # so a disjoint digest and disjoint cached trials): the first
+            # submission pays dataset-registry and lazy-import costs that
+            # would otherwise let a straggling dedup-wave client validate
+            # slower than the shared job runs.
+            warmup = dict(payload)
+            warmup["experiment"] = dict(payload["experiment"], name="serve-bench-warmup", seed=1)
+            warm_view = client.submit(warmup)
+            client.wait(warm_view["id"], timeout=600.0)
+
+            latency = _measure_latency(client, requests)
+
+            # Dedup wave: all clients POST the same spec at once.  Most
+            # join the one active job; a straggler whose validation
+            # outlives the (tiny) job becomes a second job served from
+            # cache.  Either way the contract is: the spec's trials are
+            # computed exactly once, and every client reads the same bytes.
+            tick = time.perf_counter()
+            views, submit_wave_s = _submit_wave(make_client, payload, clients)
+            job_ids = sorted({view["id"] for view in views})
+            duplicates = sum(1 for view in views if view["deduplicated"])
+            wave_trials_computed = 0
+            for job_id in job_ids:
+                done = client.wait(job_id, timeout=600.0)
+                if done["state"] != "done":
+                    raise RuntimeError(f"serve bench job failed: {done.get('error')}")
+                wave_trials_computed += done["progress"]["trials_computed"]
+            first_run_s = time.perf_counter() - tick
+            expected_trials = payload["parameters"]["n_trials"]
+
+            # Batch parity: the same spec through the api facade, fresh
+            # root — every wave job must serve those exact bytes.
+            batch = api.run_pipeline(payload, artifacts_root=parity_root)
+            batch_summary = next(
+                (path for path in batch.report_paths if path.suffix == ".json"), None
+            )
+            batch_bytes = batch_summary.read_bytes() if batch_summary is not None else None
+            parity = batch_bytes is not None and all(
+                client.report_bytes(job_id, "json") == batch_bytes for job_id in job_ids
+            )
+
+            # Cache wave: the job is done (inactive), so a resubmission is a
+            # *new* job — one that must find every trial already stored.
+            tick = time.perf_counter()
+            rerun = client.submit(payload)
+            rerun_done = client.wait(rerun["id"], timeout=600.0)
+            second_wave_s = time.perf_counter() - tick
+            progress = rerun_done["progress"]
+            trial_requests = progress["trials_cached"] + progress["trials_computed"]
+            cache_hit_rate = (
+                progress["trials_cached"] / trial_requests if trial_requests else 0.0
+            )
+        finally:
+            server.shutdown()
+            server.server_close()
+    return {
+        "kind": "repro-bench-serve",
+        "machine": {"cpu_count": os.cpu_count(), "python": platform.python_version()},
+        "settings": {"clients": int(clients), "workers": int(workers)},
+        "latency": latency,
+        "jobs": {
+            "clients": int(clients),
+            "distinct_jobs": len(job_ids),
+            "duplicates_absorbed": int(duplicates),
+            "wave_trials_computed": int(wave_trials_computed),
+            "expected_trials": int(expected_trials),
+            "submit_wave_s": submit_wave_s,
+            "first_run_s": first_run_s,
+            "cached_rerun_s": second_wave_s,
+            "trials_cached": int(progress["trials_cached"]),
+            "trials_computed": int(progress["trials_computed"]),
+            "cache_hit_rate": cache_hit_rate,
+            "parity": bool(parity),
+        },
+        "floors": dict(DEFAULT_FLOORS),
+    }
+
+
+def normalize_record(record: dict) -> dict:
+    """Validate the shape of a fresh serve record; returns it unchanged.
+
+    Raises
+    ------
+    ValueError
+        If the record is not a ``repro bench serve --json`` product.
+    """
+    if record.get("kind") != "repro-bench-serve":
+        raise ValueError(
+            "not a serve benchmark record (expected kind 'repro-bench-serve', "
+            f"got {record.get('kind')!r})"
+        )
+    latency = record.get("latency")
+    if not isinstance(latency, dict) or not {"requests_per_s", "p50_ms", "p99_ms"} <= set(
+        latency
+    ):
+        raise ValueError("serve record is missing latency.requests_per_s/p50_ms/p99_ms")
+    jobs = record.get("jobs")
+    required = {
+        "duplicates_absorbed",
+        "wave_trials_computed",
+        "expected_trials",
+        "cache_hit_rate",
+        "parity",
+    }
+    if not isinstance(jobs, dict) or not required <= set(jobs):
+        raise ValueError(
+            "serve record is missing jobs." + "/jobs.".join(sorted(required))
+        )
+    return record
+
+
+def to_spec(record: dict) -> dict:
+    """The benchmark record as a JSON-ready mapping (records already are specs)."""
+    return dict(record)
+
+
+def from_spec(spec: object) -> dict:
+    """Validate a mapping back into a serve benchmark record."""
+    checked = check_spec_mapping(spec, "serve bench record")
+    try:
+        return normalize_record(dict(checked))
+    except ValueError as exc:
+        raise SpecError("serve bench record", [str(exc)]) from exc
+
+
+def compare_records(fresh: dict, baseline: dict, *, max_slowdown: float = 1.0) -> list[str]:
+    """Regression problems of a fresh serve record against the baseline.
+
+    Gates, in order of importance: report byte-parity with the batch run
+    (the service's core contract), dedup of concurrent identical
+    submissions, the cache-hit-rate and requests/sec floors committed in
+    the baseline, and a generous p99 latency budget vs the baseline.
+    """
+    section = baseline.get(BASELINE_SECTION)
+    if not isinstance(section, dict):
+        return [f"baseline is missing the {BASELINE_SECTION!r} section"]
+    floors = section.get("floors", DEFAULT_FLOORS)
+
+    problems: list[str] = []
+    jobs = fresh.get("jobs", {})
+    if not jobs.get("parity", False):
+        problems.append(
+            "served report bytes differ from the batch run's summary.json "
+            "(byte-parity is the serve contract)"
+        )
+    computed = jobs.get("wave_trials_computed")
+    expected = jobs.get("expected_trials")
+    if computed != expected:
+        problems.append(
+            f"{jobs.get('clients')} concurrent identical submissions computed {computed} "
+            f"trials where the spec holds {expected} (duplicate work: dedup/cache regression)"
+        )
+    if jobs.get("duplicates_absorbed", 0) < 1:
+        problems.append(
+            "no concurrent duplicate submission was absorbed into the active job "
+            "(in-flight dedup regression)"
+        )
+    hit_floor = floors.get("cache_hit_rate")
+    hit_rate = jobs.get("cache_hit_rate", 0.0)
+    if hit_floor is not None and hit_rate < hit_floor:
+        problems.append(
+            f"cached rerun hit rate {hit_rate:.2f} is below the {hit_floor:.2f} floor "
+            "(the second wave recomputed trials)"
+        )
+    rps_floor = floors.get("requests_per_s")
+    rps = fresh.get("latency", {}).get("requests_per_s", 0.0)
+    if rps_floor is not None and rps < rps_floor:
+        problems.append(
+            f"throughput {rps:.0f} req/s is below the {rps_floor:.0f} req/s floor"
+        )
+    base_p99 = section.get("latency", {}).get("p99_ms")
+    fresh_p99 = fresh.get("latency", {}).get("p99_ms")
+    if base_p99 and fresh_p99:
+        slowdown = fresh_p99 / base_p99 - 1.0
+        if slowdown > max_slowdown:
+            problems.append(
+                f"p99 latency {fresh_p99:.1f}ms is {slowdown:+.0%} vs baseline "
+                f"{base_p99:.1f}ms (allowed {max_slowdown:+.0%})"
+            )
+    return problems
+
+
+def load_json(path: str | Path) -> dict:
+    """Load a serve benchmark record or baseline from disk."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def format_serve_table(fresh: dict, baseline: dict | None = None) -> str:
+    """Fixed-width summary of a fresh record (optionally vs the baseline)."""
+    floors: dict = DEFAULT_FLOORS
+    if baseline is not None:
+        floors = baseline.get(BASELINE_SECTION, {}).get("floors", DEFAULT_FLOORS)
+    latency = fresh.get("latency", {})
+    jobs = fresh.get("jobs", {})
+    dedup = f"{jobs.get('duplicates_absorbed', 0)}/{max(jobs.get('clients', 0) - 1, 0)}"
+    work = f"{jobs.get('wave_trials_computed', 0)}/{jobs.get('expected_trials', 0)}"
+    parity = str(bool(jobs.get("parity", False))).lower()
+    lines = [
+        f"{'metric':<22} {'value':>12} {'floor':>10}",
+        f"{'requests/s':<22} {latency.get('requests_per_s', 0.0):>12.0f} "
+        f"{floors.get('requests_per_s', 0.0):>10.0f}",
+        f"{'p50 latency (ms)':<22} {latency.get('p50_ms', 0.0):>12.2f} {'-':>10}",
+        f"{'p99 latency (ms)':<22} {latency.get('p99_ms', 0.0):>12.2f} {'-':>10}",
+        f"{'dedup absorbed':<22} {dedup:>12} {'>=1':>10}",
+        f"{'trials computed':<22} {work:>12} {'exact':>10}",
+        f"{'cache-hit rate':<22} {jobs.get('cache_hit_rate', 0.0):>12.2f} "
+        f"{floors.get('cache_hit_rate', 0.0):>10.2f}",
+        f"{'report parity':<22} {parity:>12} {'true':>10}",
+        f"{'cached rerun (s)':<22} {jobs.get('cached_rerun_s', 0.0):>12.2f} {'-':>10}",
+    ]
+    return "\n".join(lines)

@@ -14,18 +14,19 @@ from repro.cli import bench as bench_module
 from repro.cli import bench_fleet as bench_fleet_module
 from repro.cli import bench_kernels as bench_kernels_module
 from repro.cli import bench_scale as bench_scale_module
+from repro.cli import bench_serve as bench_serve_module
 from repro.core.distance_backend import DISTANCE_BACKENDS
-from repro.core.executor import BACKENDS
+from repro.core.executor import BACKENDS, ExecutionSpec
 from repro.datasets.registry import DATASET_NAMES, get_dataset
 from repro.experiments.artifacts import ArtifactStore
 from repro.experiments.fleet import fleet_status, format_fleet_status, run_worker
 from repro.experiments.pipeline import (
     ConfigError,
     load_pipeline_spec,
-    run_pipeline,
     validate_pipeline_file,
 )
 from repro.experiments.reporting import format_table
+from repro.utils.specs import SpecError
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -147,6 +148,49 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report_parser.add_argument("config", help="path to a .toml or .json pipeline config")
     _add_run_options(report_parser)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="serve pipelines and parameter selection over HTTP (clustering-as-a-service)",
+        description=(
+            "Start the stdlib HTTP layer over the artifact store: clients POST pipeline "
+            "specs or {'select': ...} requests to /v1/jobs, poll per-cell progress, and "
+            "fetch reports byte-identical to CLI runs of the same spec. Submissions "
+            "identical to an active job join it instead of re-running, and re-submitted "
+            "finished jobs are served from cached trials."
+        ),
+    )
+    serve_parser.add_argument(
+        "config",
+        nargs="?",
+        help="optional pipeline config supplying the [serve] table and artifacts root",
+    )
+    serve_parser.add_argument(
+        "--host",
+        help="bind address (default: the config's [serve] host, else 127.0.0.1)",
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        help="TCP port; 0 binds an ephemeral port (default: [serve] port, else 8601)",
+    )
+    serve_parser.add_argument(
+        "--workers",
+        dest="serve_workers",
+        type=int,
+        help="jobs running concurrently (default: [serve] workers, else 2)",
+    )
+    serve_parser.add_argument(
+        "--max-pending",
+        dest="serve_max_pending",
+        type=int,
+        help="active-job cap before submissions get HTTP 429 (default: 32)",
+    )
+    serve_parser.add_argument(
+        "--artifacts-root",
+        metavar="DIR",
+        help="artifact store every job runs against (default: the config's root)",
+    )
 
     bench_parser = subparsers.add_parser(
         "bench",
@@ -409,6 +453,74 @@ def build_parser() -> argparse.ArgumentParser:
         help="allowed fractional 1-worker wall-clock slowdown vs baseline (default: 0.75)",
     )
 
+    serve_bench_parser = bench_subparsers.add_parser(
+        "serve",
+        help="load-benchmark the repro serve HTTP layer (rps, p99, dedup, cache, parity)",
+        description=(
+            "Spin an in-process server on an ephemeral port and measure the service "
+            "contract: health-check throughput and latency percentiles, dedup of "
+            "concurrent identical submissions, the cached-rerun hit rate, and report "
+            "byte-parity with a batch run of the same spec. Gate the record against the "
+            "committed BENCH_serve.json baseline (exit 1 when parity or dedup breaks, a "
+            "floor is missed, or p99 regresses beyond --max-slowdown)."
+        ),
+    )
+    # Like ``scale`` and ``fleet``, this subparser uses its own dests
+    # (serve_*) so the parent ``bench`` parser's shared-flag defaults
+    # cannot clobber it.
+    serve_bench_parser.add_argument(
+        "--clients",
+        dest="serve_clients",
+        type=int,
+        default=bench_serve_module.N_CLIENTS,
+        help=f"concurrent submitting clients (default: {bench_serve_module.N_CLIENTS})",
+    )
+    serve_bench_parser.add_argument(
+        "--requests",
+        dest="serve_requests",
+        type=int,
+        default=bench_serve_module.N_REQUESTS,
+        help=(
+            "health-check round-trips in the latency phase "
+            f"(default: {bench_serve_module.N_REQUESTS})"
+        ),
+    )
+    serve_bench_parser.add_argument(
+        "--workers",
+        dest="serve_bench_workers",
+        type=int,
+        default=2,
+        help="server worker-pool size during the bench (default: 2)",
+    )
+    serve_bench_parser.add_argument(
+        "--json",
+        dest="serve_json",
+        metavar="PATH",
+        default=None,
+        help="write the fresh record to PATH",
+    )
+    serve_bench_parser.add_argument(
+        "--compare",
+        dest="serve_compare",
+        metavar="FRESH",
+        default=None,
+        help="load a fresh serve record instead of running the benchmark",
+    )
+    serve_bench_parser.add_argument(
+        "--baseline",
+        dest="serve_baseline",
+        metavar="PATH",
+        default=None,
+        help="baseline JSON to gate against (e.g. BENCH_serve.json)",
+    )
+    serve_bench_parser.add_argument(
+        "--max-slowdown",
+        dest="serve_max_slowdown",
+        type=float,
+        default=1.0,
+        help="allowed fractional p99 latency slowdown vs baseline (default: 1.0)",
+    )
+
     datasets_parser = subparsers.add_parser("datasets", help="inspect the data-set registry")
     datasets_subparsers = datasets_parser.add_subparsers(dest="datasets_command", required=True)
     datasets_subparsers.add_parser("list", help="list registered data sets with their shapes")
@@ -479,12 +591,19 @@ def _command_run(args: argparse.Namespace, *, reports_only: bool = False) -> int
         )
         result = report.result
     else:
-        result = run_pipeline(
+        # Batch runs go through the same stable facade the serve layer
+        # uses, so HTTP jobs and CLI runs are one code path (and their
+        # reports byte-identical).
+        from repro import api
+
+        result = api.run_pipeline(
             spec,
             store=store,
-            backend=args.backend,
-            n_jobs=args.n_jobs,
-            distance_backend=args.distance_backend,
+            execution=ExecutionSpec(
+                backend=args.backend,
+                n_jobs=args.n_jobs,
+                distance_backend=args.distance_backend,
+            ),
         )
 
     if not quiet:
@@ -492,6 +611,54 @@ def _command_run(args: argparse.Namespace, *, reports_only: bool = False) -> int
     print(store.describe_stats())
     for path in result.report_paths:
         print(f"wrote {path}")
+    return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ServeSettings, make_server
+
+    settings = ServeSettings()
+    artifacts_root = Path(".repro-artifacts")
+    if args.config:
+        try:
+            spec = load_pipeline_spec(args.config)
+        except ConfigError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        except OSError as exc:
+            print(f"cannot read config {args.config}: {exc}", file=sys.stderr)
+            return 2
+        settings = spec.serve
+        artifacts_root = Path(spec.artifacts_root)
+    if args.artifacts_root:
+        artifacts_root = Path(args.artifacts_root)
+    try:
+        settings = settings.with_overrides(
+            host=args.host,
+            port=args.port,
+            workers=args.serve_workers,
+            max_pending=args.serve_max_pending,
+        )
+    except SpecError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    try:
+        server = make_server(artifacts_root, settings)
+    except OSError as exc:
+        print(f"cannot bind {settings.host}:{settings.port}: {exc}", file=sys.stderr)
+        return 1
+    print(f"serving on {server.url} (artifacts root: {artifacts_root})", flush=True)
+    print(
+        f"workers={settings.workers} max_pending={settings.max_pending}; Ctrl-C to stop",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.manager.shutdown(wait=False)
+        server.server_close()
     return 0
 
 
@@ -727,7 +894,60 @@ def _command_bench_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_bench_serve(args: argparse.Namespace) -> int:
+    if args.serve_compare:
+        if args.serve_json:
+            print(
+                "--json records a live benchmark run and cannot be combined with --compare "
+                "(the fresh record already exists on disk)",
+                file=sys.stderr,
+            )
+            return 2
+        record = bench_serve_module.load_json(args.serve_compare)
+    else:
+        try:
+            record = bench_serve_module.run_bench_serve(
+                clients=args.serve_clients,
+                requests=args.serve_requests,
+                workers=args.serve_bench_workers,
+            )
+        except (RuntimeError, ValueError, OSError, TimeoutError) as exc:
+            print(exc, file=sys.stderr)
+            return 2 if isinstance(exc, ValueError) else 1
+        if args.serve_json:
+            Path(args.serve_json).write_text(
+                json.dumps(record, sort_keys=True, indent=2) + "\n",
+                encoding="utf-8",
+            )
+            print(f"wrote {args.serve_json}")
+
+    try:
+        fresh = bench_serve_module.normalize_record(record)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    baseline = bench_serve_module.load_json(args.serve_baseline) if args.serve_baseline else None
+    print(bench_serve_module.format_serve_table(fresh, baseline))
+
+    if baseline is not None:
+        problems = bench_serve_module.compare_records(
+            fresh, baseline, max_slowdown=args.serve_max_slowdown
+        )
+        if problems:
+            print("serve benchmark regression detected:", file=sys.stderr)
+            for problem in problems:
+                print(f"  - {problem}", file=sys.stderr)
+            return 1
+        print(
+            "serve benchmark within baseline (parity byte-identical, duplicates absorbed, "
+            f"floors met, max p99 slowdown {args.serve_max_slowdown:.0%})"
+        )
+    return 0
+
+
 def _command_bench(args: argparse.Namespace) -> int:
+    if getattr(args, "bench_target", None) == "serve":
+        return _command_bench_serve(args)
     if getattr(args, "bench_target", None) == "kernels":
         return _command_bench_kernels(args)
     if getattr(args, "bench_target", None) == "scale":
@@ -829,6 +1049,8 @@ def main(argv: list[str] | None = None) -> int:
             return _command_run(args)
         if args.command == "report":
             return _command_run(args, reports_only=True)
+        if args.command == "serve":
+            return _command_serve(args)
         if args.command == "status":
             return _command_status(args)
         if args.command == "dashboard":

@@ -155,6 +155,38 @@ class ConstraintOracle(ABC):
             payload[field.name] = value
         return payload
 
+    def to_spec(self) -> dict:
+        """The shared spec protocol (see :mod:`repro.utils.specs`).
+
+        Identical to :meth:`spec`; the alias exists so oracles satisfy the
+        same ``to_spec``/``from_spec`` contract as the pipeline tables and
+        bench records.
+        """
+        return self.spec()
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "ConstraintOracle":
+        """Rebuild an oracle from a spec mapping, with protocol-typed errors.
+
+        Wraps :func:`oracle_from_spec`; invalid mappings raise
+        :class:`~repro.utils.specs.SpecError` (a ``ValueError`` subclass,
+        so pre-protocol ``except ValueError`` call sites keep working).
+        When called on a concrete subclass, the spec must name that
+        subclass's oracle.
+        """
+        from repro.utils.specs import SpecError
+
+        try:
+            oracle = oracle_from_spec(dict(spec) if isinstance(spec, dict) else spec)
+        except (ValueError, TypeError) as exc:
+            raise SpecError("oracle", [str(exc)]) from exc
+        if cls is not ConstraintOracle and not isinstance(oracle, cls):
+            raise SpecError(
+                "oracle",
+                [f"spec names oracle {oracle.name!r}, not a {cls.__name__}"],
+            )
+        return oracle
+
     @abstractmethod
     def labeled_objects(
         self,

@@ -46,6 +46,7 @@ from repro.core.distance_backend import (
 )
 from repro.core.executor import (
     BACKENDS,
+    ExecutionSpec,
     Executor,
     ProcessExecutor,
     SerialExecutor,
@@ -86,6 +87,7 @@ __all__ = [
     "resolve_distance_backend",
     "spill_directory",
     "BACKENDS",
+    "ExecutionSpec",
     "Executor",
     "ProcessExecutor",
     "SerialExecutor",

@@ -32,12 +32,93 @@ from __future__ import annotations
 import os
 from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_completed
-from typing import Any, Callable, Iterable, Sequence
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
+from repro.utils.specs import SpecError, check_spec_mapping, unknown_key_problems
+
 #: The recognised backend names, in order of increasing isolation.
 BACKENDS: tuple[str, ...] = ("serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class ExecutionSpec:
+    """The execution engine as one validated, picklable value.
+
+    Replaces the ``backend=`` / ``n_jobs=`` / ``distance_backend=``
+    keyword sprawl on :class:`~repro.core.cvcp.CVCP` and
+    :func:`~repro.core.cvcp.select_parameter`: construct one of these and
+    pass ``execution=spec`` instead.  Also the validated form of the
+    pipeline ``[execution]`` config table (minus the pipeline-level
+    ``parallelize`` key).
+
+    Every field defaults to ``None`` meaning "inherit the caller's
+    default" — ``backend=None`` resolves to ``"serial"`` at the use site,
+    ``n_jobs=None`` to all cores, ``distance_backend=None`` to the
+    ``REPRO_DISTANCE_BACKEND`` environment fallback — so a default
+    ``ExecutionSpec()`` is always a no-op override.
+
+    All execution engines are bit-identical for a fixed seed, so two runs
+    differing only in their ``ExecutionSpec`` share every cached artifact.
+    """
+
+    backend: str | None = None
+    n_jobs: int | None = None
+    distance_backend: str | None = None
+
+    def __post_init__(self) -> None:
+        problems = []
+        if self.backend is not None and self.backend not in BACKENDS:
+            problems.append(
+                f"execution.backend: must be one of {', '.join(BACKENDS)}; got {self.backend!r}"
+            )
+        if self.n_jobs is not None and (
+            isinstance(self.n_jobs, bool) or not isinstance(self.n_jobs, int)
+        ):
+            problems.append(f"execution.n_jobs: must be an integer, got {self.n_jobs!r}")
+        if self.distance_backend is not None:
+            # Imported lazily to keep this module importable standalone.
+            from repro.core.distance_backend import DISTANCE_BACKENDS
+
+            if self.distance_backend not in DISTANCE_BACKENDS:
+                problems.append(
+                    "execution.distance_backend: must be one of "
+                    f"{', '.join(DISTANCE_BACKENDS)}; got {self.distance_backend!r}"
+                )
+        if problems:
+            raise SpecError("execution", problems)
+
+    def to_spec(self) -> dict:
+        """JSON/TOML-ready mapping; inherit-the-default fields are omitted."""
+        spec: dict[str, object] = {}
+        if self.backend is not None:
+            spec["backend"] = self.backend
+        if self.n_jobs is not None:
+            spec["n_jobs"] = self.n_jobs
+        if self.distance_backend is not None:
+            spec["distance_backend"] = self.distance_backend
+        return spec
+
+    @classmethod
+    def from_spec(cls, spec: Mapping) -> "ExecutionSpec":
+        """Validate a mapping (e.g. an ``[execution]`` table) into a spec.
+
+        Collects every problem before raising :class:`SpecError`.
+        """
+        spec = check_spec_mapping(spec, "execution")
+        known = ("backend", "n_jobs", "distance_backend")
+        problems = unknown_key_problems(spec, known, "execution")
+        kwargs = {key: spec[key] for key in known if key in spec}
+        built = None
+        try:
+            built = cls(**kwargs)
+        except SpecError as exc:
+            problems.extend(exc.problems)
+        if problems or built is None:
+            raise SpecError("execution", problems)
+        return built
 
 
 def derive_seed(master_seed: int, *coordinates: int) -> int:

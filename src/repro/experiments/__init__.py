@@ -51,6 +51,7 @@ from repro.experiments.pipeline import (
     PipelineResult,
     PipelineSpec,
     load_pipeline_spec,
+    pipeline_spec_from_mapping,
     run_pipeline,
     validate_pipeline_file,
 )
@@ -113,6 +114,7 @@ __all__ = [
     "PipelineResult",
     "PipelineSpec",
     "load_pipeline_spec",
+    "pipeline_spec_from_mapping",
     "run_pipeline",
     "validate_pipeline_file",
     "trial_artifact_key",

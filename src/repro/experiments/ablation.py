@@ -164,7 +164,7 @@ def closure_leakage_ablation(
         values = parameter_values_for(algorithm, dataset, config)
 
         proper = CVCP(estimator, values, n_folds=config.n_folds, refit=False, random_state=rng,
-                      n_jobs=config.n_jobs, backend=config.backend)
+                      execution=config.execution_spec())
         proper.fit(dataset.X, constraints=side.constraints)
 
         naive_folds = _naive_constraint_folds(
@@ -227,7 +227,7 @@ def fold_count_ablation(
         for n_folds in fold_counts:
             search = CVCP(estimator, values, n_folds=n_folds, refit=True,
                           random_state=int(rng.integers(0, 2**31 - 1)),
-                          n_jobs=config.n_jobs, backend=config.backend)
+                          execution=config.execution_spec())
             search.fit(dataset.X, labeled_objects=side.labeled_objects)
             measurements[f"n_folds={n_folds}"] = overall_f_measure(
                 dataset.y, search.labels_, exclude=exclude
@@ -269,7 +269,7 @@ def scorer_ablation(
         for scoring in scorers:
             search = CVCP(estimator, values, n_folds=config.n_folds, scoring=scoring,
                           refit=True, random_state=int(rng.integers(0, 2**31 - 1)),
-                          n_jobs=config.n_jobs, backend=config.backend)
+                          execution=config.execution_spec())
             search.fit(dataset.X, labeled_objects=side.labeled_objects)
             measurements[scoring] = overall_f_measure(dataset.y, search.labels_, exclude=exclude)
         return AblationResult(name="internal-scorer", measurements=measurements)

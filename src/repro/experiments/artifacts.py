@@ -43,7 +43,7 @@ import os
 import tempfile
 import threading
 from pathlib import Path
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.utils.cache import array_fingerprint
 
@@ -120,11 +120,25 @@ class ArtifactStore:
     refresh:
         When true, every lookup misses (but writes still land), forcing a
         recomputation that overwrites stale artifacts in place.
+    on_event:
+        Optional observer called as ``on_event(event, kind)`` with
+        ``event`` one of ``"hit"``/``"miss"``/``"write"`` after the
+        corresponding store operation.  The serve layer streams per-cell
+        job progress through this hook.  Called from whatever thread
+        performed the operation, and must not raise — an observer
+        exception would masquerade as a store failure mid-trial.
     """
 
-    def __init__(self, root: str | os.PathLike[str], *, refresh: bool = False) -> None:
+    def __init__(
+        self,
+        root: str | os.PathLike[str],
+        *,
+        refresh: bool = False,
+        on_event: Callable[[str, str], None] | None = None,
+    ) -> None:
         self.root = Path(root)
         self.refresh = bool(refresh)
+        self.on_event = on_event
         self.stats = StoreStats()
         self._lock = threading.Lock()
 
@@ -138,19 +152,19 @@ class ArtifactStore:
         """Return the stored payload for ``key``, or ``None`` on a miss."""
         path = self.path_for(kind, key)
         if self.refresh or not path.is_file():
-            self._count(misses=1)
+            self._count(misses=1, kind=kind)
             return None
         try:
             record = json.loads(path.read_text(encoding="utf-8"))
         except (OSError, json.JSONDecodeError):
             # A truncated artifact (e.g. a hard kill mid-write on a
             # filesystem without atomic rename) counts as absent.
-            self._count(misses=1)
+            self._count(misses=1, kind=kind)
             return None
         if record.get("schema") != SCHEMA_VERSION or record.get("kind") != kind:
-            self._count(misses=1)
+            self._count(misses=1, kind=kind)
             return None
-        self._count(hits=1)
+        self._count(hits=1, kind=kind)
         return record["payload"]
 
     def put(self, kind: str, key: dict[str, Any], payload: Any) -> Path:
@@ -170,7 +184,7 @@ class ArtifactStore:
             except OSError:
                 pass
             raise
-        self._count(writes=1)
+        self._count(writes=1, kind=kind)
         return path
 
     def delete(self, kind: str, key: dict[str, Any]) -> bool:
@@ -220,11 +234,16 @@ class ArtifactStore:
         )
 
     # ------------------------------------------------------------------
-    def _count(self, *, hits: int = 0, misses: int = 0, writes: int = 0) -> None:
+    def _count(
+        self, *, hits: int = 0, misses: int = 0, writes: int = 0, kind: str = ""
+    ) -> None:
         with self._lock:
             self.stats.hits += hits
             self.stats.misses += misses
             self.stats.writes += writes
+        if self.on_event is not None:
+            event = "hit" if hits else ("write" if writes else "miss")
+            self.on_event(event, kind)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ArtifactStore(root={str(self.root)!r}, refresh={self.refresh})"

@@ -23,6 +23,7 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, replace
 
+from repro.core.executor import ExecutionSpec
 from repro.datasets.base import Dataset
 
 #: MinPts values swept for FOSC-OPTICSDend (Section 4.1).
@@ -115,6 +116,12 @@ class ExperimentConfig:
             distance_backend=(
                 distance_backend if distance_backend is not None else self.distance_backend
             ),
+        )
+
+    def execution_spec(self) -> ExecutionSpec:
+        """The execution engine fields as one validated ``ExecutionSpec``."""
+        return ExecutionSpec(
+            backend=self.backend, n_jobs=self.n_jobs, distance_backend=self.distance_backend
         )
 
 

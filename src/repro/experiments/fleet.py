@@ -61,6 +61,7 @@ from repro.datasets.registry import get_dataset, get_dataset_collection
 from repro.experiments.artifacts import ArtifactStore, key_digest
 from repro.experiments.runner import run_trial, trial_artifact_key
 from repro.utils.rng import spawn_seeds
+from repro.utils.specs import SpecError, check_spec_mapping, unknown_key_problems
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.datasets.base import Dataset
@@ -97,6 +98,33 @@ class FleetSettings:
     def with_overrides(self, **overrides: float) -> "FleetSettings":
         """A copy with the given fields replaced (CLI flag overrides)."""
         return replace(self, **{key: value for key, value in overrides.items() if value is not None})
+
+    def to_spec(self) -> dict:
+        """JSON/TOML-ready ``[fleet]`` table (the shared spec protocol)."""
+        return {"lease_ttl_s": self.lease_ttl_s, "poll_interval_s": self.poll_interval_s}
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "FleetSettings":
+        """Validate a ``[fleet]`` table mapping into settings.
+
+        Collects every problem before raising
+        :class:`~repro.utils.specs.SpecError`.
+        """
+        spec = check_spec_mapping(spec, "fleet")
+        known = ("lease_ttl_s", "poll_interval_s")
+        problems = unknown_key_problems(spec, known, "fleet")
+        kwargs: dict[str, float] = {}
+        for key in known:
+            if key not in spec:
+                continue
+            value = spec[key]
+            if isinstance(value, bool) or not isinstance(value, (int, float)) or value <= 0:
+                problems.append(f"fleet.{key}: must be a positive number of seconds, got {value!r}")
+            else:
+                kwargs[key] = float(value)
+        if problems:
+            raise SpecError("fleet", problems)
+        return cls(**kwargs)
 
 
 def default_worker_id() -> str:

@@ -51,6 +51,7 @@ import json
 import re
 from dataclasses import dataclass, field, replace
 from pathlib import Path
+from typing import Mapping
 
 try:
     import tomllib
@@ -61,8 +62,7 @@ except ModuleNotFoundError:  # Python 3.10: stdlib tomllib arrived in 3.11
         tomllib = None  # type: ignore[assignment]
 
 from repro.constraints.oracles import ConstraintOracle, PerfectOracle, make_oracle, oracle_names
-from repro.core.distance_backend import DISTANCE_BACKENDS
-from repro.core.executor import BACKENDS
+from repro.core.executor import ExecutionSpec
 from repro.datasets.registry import DATASET_NAMES, get_dataset
 from repro.experiments.ablation import (
     closure_leakage_ablation,
@@ -91,6 +91,8 @@ from repro.experiments.reporting import (
 )
 from repro.experiments.robustness import DEFAULT_FLIP_RATES, noise_robustness_table
 from repro.experiments.runner import run_trials
+from repro.serve.schemas import ServeSettings
+from repro.utils.specs import SpecError, unknown_key_problems
 
 #: Experiment kinds a pipeline can run, mapped to the paper's artefacts.
 PIPELINE_KINDS: tuple[str, ...] = (
@@ -123,14 +125,16 @@ _PARAMETER_KEYS: tuple[str, ...] = (
 )
 
 
-class ConfigError(ValueError):
-    """A pipeline spec failed validation; ``problems`` lists every issue."""
+class ConfigError(SpecError):
+    """A pipeline spec failed validation; ``problems`` lists every issue.
+
+    Subclasses :class:`repro.utils.specs.SpecError` (and therefore
+    ``ValueError``): pipeline configs are one more ``from_spec`` surface,
+    and callers that catch ``SpecError`` handle them uniformly.
+    """
 
     def __init__(self, source: str, problems: list[str]) -> None:
-        self.source = source
-        self.problems = list(problems)
-        details = "\n".join(f"  - {problem}" for problem in self.problems)
-        super().__init__(f"invalid pipeline config {source}:\n{details}")
+        super().__init__(source, problems, label="pipeline config")
 
 
 @dataclass
@@ -155,11 +159,58 @@ class PipelineSpec:
     oracle_repair: bool = False
     #: Work-stealing knobs for ``repro run --worker`` (``[fleet]`` table).
     fleet: FleetSettings = FleetSettings()
+    #: HTTP-layer knobs for ``repro serve`` (``[serve]`` table).
+    serve: ServeSettings = ServeSettings()
     source: Path | None = None
 
     def with_overrides(self, **overrides) -> "PipelineSpec":
         """Return a copy with the given fields replaced (CLI flag overrides)."""
         return replace(self, **overrides)
+
+    def to_spec(self) -> dict:
+        """The spec as a JSON/TOML-ready config mapping.
+
+        The inverse of :func:`pipeline_spec_from_mapping`: for every
+        validated spec, ``pipeline_spec_from_mapping(spec.to_spec())``
+        rebuilds an equal spec (modulo ``source``, which names where a
+        spec was *loaded from* and has no place in the mapping).  Tables
+        a kind forbids (``[oracle]`` for ablations, ``experiment.scenario``
+        for ablations, ``experiment.algorithm`` for robustness sweeps)
+        are omitted rather than emitted-and-rejected.
+        """
+        experiment: dict = {"name": self.name, "kind": self.kind}
+        if self.kind != "robustness":
+            experiment["algorithm"] = self.algorithm
+        if self.kind != "ablation":
+            experiment["scenario"] = self.scenario
+        experiment["amounts"] = [float(amount) for amount in self.amounts]
+        experiment["datasets"] = list(self.datasets)
+        experiment["seed"] = self.config.seed
+        parameters: dict = {key: getattr(self.config, key) for key in _PARAMETER_KEYS}
+        parameters["minpts_range"] = list(self.config.minpts_range)
+        spec: dict = {"experiment": experiment, "parameters": parameters}
+        if self.kind == "robustness":
+            spec["oracle"] = {
+                "flip_rates": [float(rate) for rate in self.flip_rates],
+                "repair": self.oracle_repair,
+            }
+        elif self.kind != "ablation":
+            spec["oracle"] = self.oracle.to_spec()
+        execution = self.config.execution_spec().to_spec()
+        if self.parallelize != "grid":
+            execution["parallelize"] = self.parallelize
+        if execution:
+            spec["execution"] = execution
+        spec["artifacts"] = {"root": str(self.artifacts_root)}
+        spec["report"] = {"formats": list(self.report_formats)}
+        spec["fleet"] = self.fleet.to_spec()
+        spec["serve"] = self.serve.to_spec()
+        return spec
+
+    @classmethod
+    def from_spec(cls, spec: Mapping) -> "PipelineSpec":
+        """Validate a config mapping into a spec; raises :class:`ConfigError`."""
+        return pipeline_spec_from_mapping(spec)
 
 
 @dataclass
@@ -215,7 +266,9 @@ def validate_pipeline_mapping(raw: dict, source: str) -> tuple[PipelineSpec | No
     """
     problems: list[str] = []
 
-    known_tables = ("experiment", "parameters", "oracle", "execution", "artifacts", "report", "fleet")
+    known_tables = (
+        "experiment", "parameters", "oracle", "execution", "artifacts", "report", "fleet", "serve",
+    )
     for table in raw:
         if table not in known_tables:
             problems.append(f"unknown table [{table}] (expected one of {', '.join(known_tables)})")
@@ -387,31 +440,23 @@ def validate_pipeline_mapping(raw: dict, source: str) -> tuple[PipelineSpec | No
                     problems.append(f"oracle: {exc}")
 
     execution = raw.get("execution", {})
-    backend = "serial"
-    n_jobs: int | None = None
-    distance_backend: str | None = None
+    execution_spec = ExecutionSpec()
     parallelize = "grid"
     if isinstance(execution, dict):
-        for key in execution:
-            if key not in ("backend", "n_jobs", "parallelize", "distance_backend"):
-                problems.append(
-                    f"execution.{key}: unknown key "
-                    "(expected backend, n_jobs, parallelize, distance_backend)"
-                )
-        if "backend" in execution:
-            checked = _check_enum(problems, "execution", "backend", execution["backend"], BACKENDS)
-            backend = checked or backend
-        if "n_jobs" in execution:
-            value = execution["n_jobs"]
-            if isinstance(value, bool) or not isinstance(value, int):
-                problems.append(f"execution.n_jobs: must be an integer, got {value!r}")
-            else:
-                n_jobs = value
-        if "distance_backend" in execution:
-            distance_backend = _check_enum(
-                problems, "execution", "distance_backend",
-                execution["distance_backend"], DISTANCE_BACKENDS,
+        # Unknown keys are checked here (not in ExecutionSpec.from_spec)
+        # because the table also carries the pipeline-level parallelize key.
+        problems.extend(
+            unknown_key_problems(
+                execution, ("backend", "n_jobs", "parallelize", "distance_backend"), "execution"
             )
+        )
+        engine_keys = ("backend", "n_jobs", "distance_backend")
+        try:
+            execution_spec = ExecutionSpec.from_spec(
+                {key: execution[key] for key in engine_keys if key in execution}
+            )
+        except SpecError as exc:
+            problems.extend(exc.problems)
         if "parallelize" in execution:
             checked = _check_enum(
                 problems, "execution", "parallelize", execution["parallelize"], ("grid", "trials")
@@ -438,21 +483,19 @@ def validate_pipeline_mapping(raw: dict, source: str) -> tuple[PipelineSpec | No
 
     fleet_table = raw.get("fleet", {})
     fleet_settings = FleetSettings()
-    if isinstance(fleet_table, dict):
-        known_fleet_keys = ("lease_ttl_s", "poll_interval_s")
-        for key in fleet_table:
-            if key not in known_fleet_keys:
-                problems.append(f"fleet.{key}: unknown key (expected {', '.join(known_fleet_keys)})")
-        fleet_kwargs: dict[str, float] = {}
-        for key in known_fleet_keys:
-            if key not in fleet_table:
-                continue
-            value = fleet_table[key]
-            if isinstance(value, bool) or not isinstance(value, (int, float)) or value <= 0:
-                problems.append(f"fleet.{key}: must be a positive number of seconds, got {value!r}")
-            else:
-                fleet_kwargs[key] = float(value)
-        fleet_settings = FleetSettings(**fleet_kwargs)
+    if isinstance(fleet_table, dict) and fleet_table:
+        try:
+            fleet_settings = FleetSettings.from_spec(fleet_table)
+        except SpecError as exc:
+            problems.extend(exc.problems)
+
+    serve_table = raw.get("serve", {})
+    serve_settings = ServeSettings()
+    if isinstance(serve_table, dict) and serve_table:
+        try:
+            serve_settings = ServeSettings.from_spec(serve_table)
+        except SpecError as exc:
+            problems.extend(exc.problems)
 
     report = raw.get("report", {})
     report_formats: tuple[str, ...] = REPORT_FORMATS
@@ -487,7 +530,9 @@ def validate_pipeline_mapping(raw: dict, source: str) -> tuple[PipelineSpec | No
     else:
         config = config.with_overrides(constraint_fractions=tuple(amounts))
     config = config.with_execution(
-        backend=backend, n_jobs=n_jobs, distance_backend=distance_backend
+        backend=execution_spec.backend or "serial",
+        n_jobs=execution_spec.n_jobs,
+        distance_backend=execution_spec.distance_backend,
     )
 
     spec = PipelineSpec(
@@ -505,9 +550,25 @@ def validate_pipeline_mapping(raw: dict, source: str) -> tuple[PipelineSpec | No
         flip_rates=flip_rates,
         oracle_repair=oracle_repair,
         fleet=fleet_settings,
+        serve=serve_settings,
         source=None,
     )
     return spec, []
+
+
+def pipeline_spec_from_mapping(raw: Mapping, *, source: str = "<mapping>") -> PipelineSpec:
+    """Validate an in-memory config mapping into a :class:`PipelineSpec`.
+
+    The programmatic twin of :func:`load_pipeline_spec` — the serve layer
+    and :func:`repro.api.load_spec` feed it mappings that never lived in
+    a file.  Raises :class:`ConfigError` listing every problem.
+    """
+    if not isinstance(raw, Mapping):
+        raise ConfigError(source, [f"top level must be a mapping/object, got {type(raw).__name__}"])
+    spec, problems = validate_pipeline_mapping(dict(raw), source)
+    if spec is None:
+        raise ConfigError(source, problems)
+    return spec
 
 
 def load_pipeline_spec(path: str | Path) -> PipelineSpec:

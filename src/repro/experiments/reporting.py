@@ -10,6 +10,8 @@ and machine-readable summaries through the artifact store
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Sequence
 
@@ -179,11 +181,31 @@ def write_report(
     for fmt in formats:
         if fmt == "txt":
             path = directory / "report.txt"
-            path.write_text(text, encoding="utf-8")
+            _write_atomic(path, text)
         elif fmt == "json":
             path = directory / "summary.json"
-            path.write_text(json.dumps(summary, sort_keys=True, indent=2) + "\n", encoding="utf-8")
+            _write_atomic(path, json.dumps(summary, sort_keys=True, indent=2) + "\n")
         else:
             raise ValueError(f"unknown report format {fmt!r}; expected 'txt' or 'json'")
         paths.append(path)
     return paths
+
+
+def _write_atomic(path: Path, text: str) -> None:
+    """Write-and-rename so concurrent readers never see a torn report.
+
+    The serve layer streams report files while identical jobs may be
+    rewriting them; rename-into-place makes every read observe one
+    complete version (the same discipline the artifact store uses).
+    """
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise

@@ -319,9 +319,7 @@ def run_trial(
         n_folds=config.n_folds,
         refit=False,
         random_state=rng,
-        n_jobs=config.n_jobs,
-        backend=config.backend,
-        distance_backend=config.distance_backend,
+        execution=config.execution_spec(),
         artifact_store=cell_store,
         artifact_scope=key,
     )

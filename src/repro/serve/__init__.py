@@ -1,0 +1,59 @@
+"""Clustering-as-a-service: a long-lived HTTP API over the artifact store.
+
+``repro serve`` turns the batch pipeline into a service: clients POST
+pipeline specs (or parameter-selection requests) to ``/v1/jobs``, poll
+per-cell progress streamed from the executor's ``on_result`` hook, and
+fetch the finished ``summary.json``/``report.txt`` — byte-identical to
+what the batch CLI writes for the same spec, because both routes run
+through :mod:`repro.api` and share the content-addressed
+:class:`~repro.experiments.artifacts.ArtifactStore`.  Identical
+submissions are deduplicated against active jobs and served from cache
+once complete.
+
+Layout:
+
+* :mod:`repro.serve.schemas` — frozen request/response dataclasses and
+  the ``[serve]`` config table (:class:`ServeSettings`);
+* :mod:`repro.serve.jobs` — the bounded worker pool
+  (:class:`JobManager`) bridging HTTP submissions to :mod:`repro.api`;
+* :mod:`repro.serve.server` — the stdlib threading HTTP server and its
+  route handlers;
+* :mod:`repro.serve.client` — a small urllib client
+  (:class:`ServeClient`) used by the tests, the load bench and CI.
+
+The heavy submodules load lazily so importing
+:class:`~repro.serve.schemas.ServeSettings` (which the pipeline config
+layer does) never drags in the HTTP machinery.
+"""
+
+from repro.serve.schemas import JOB_STATES, JobProgress, JobView, ServeSettings
+
+__all__ = [
+    "JOB_STATES",
+    "JobManager",
+    "JobProgress",
+    "JobView",
+    "QueueFullError",
+    "ReproServer",
+    "ServeClient",
+    "ServeError",
+    "ServeSettings",
+    "make_server",
+]
+
+_LAZY = {
+    "JobManager": "repro.serve.jobs",
+    "QueueFullError": "repro.serve.jobs",
+    "ReproServer": "repro.serve.server",
+    "make_server": "repro.serve.server",
+    "ServeClient": "repro.serve.client",
+    "ServeError": "repro.serve.client",
+}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        import importlib
+
+        return getattr(importlib.import_module(_LAZY[name]), name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

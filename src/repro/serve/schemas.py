@@ -1,0 +1,174 @@
+"""Request/response schemas of the serve layer.
+
+Everything the HTTP surface exchanges with clients is defined here as
+frozen dataclasses with explicit ``as_dict`` (responses) or
+``to_spec``/``from_spec`` (config) conversions, so the wire format is a
+stable, documented contract rather than whatever the handlers happen to
+serialise.  The module is deliberately import-light (stdlib +
+:mod:`repro.utils.specs` only): :mod:`repro.experiments.pipeline` imports
+:class:`ServeSettings` for the ``[serve]`` config table without pulling in
+the HTTP machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Mapping
+
+from repro.utils.specs import SpecError, check_spec_mapping, unknown_key_problems
+
+#: Lifecycle states a submitted job moves through, in order.
+JOB_STATES: tuple[str, ...] = ("queued", "running", "done", "failed")
+
+
+@dataclass(frozen=True)
+class ServeSettings:
+    """The ``[serve]`` config table: knobs of the ``repro serve`` layer.
+
+    Attributes
+    ----------
+    host:
+        Interface the server binds (loopback by default — the API is
+        unauthenticated, so exposing it wider is an explicit choice).
+    port:
+        TCP port; ``0`` asks the OS for an ephemeral port (the CLI prints
+        the bound address, tests rely on this).
+    workers:
+        Bounded worker-pool size: how many jobs run concurrently.  Each
+        job already parallelises internally through the executor
+        backends, so a small pool is the right default.
+    max_pending:
+        Submissions beyond this many queued-or-running jobs are refused
+        with HTTP 429 instead of growing an unbounded queue.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8601
+    workers: int = 2
+    max_pending: int = 32
+
+    def __post_init__(self) -> None:
+        problems = []
+        if not isinstance(self.host, str) or not self.host:
+            problems.append(f"serve.host: must be a non-empty host string, got {self.host!r}")
+        if (
+            isinstance(self.port, bool)
+            or not isinstance(self.port, int)
+            or not 0 <= self.port <= 65535
+        ):
+            problems.append(
+                f"serve.port: must be an integer in [0, 65535] (0 = ephemeral), got {self.port!r}"
+            )
+        for key in ("workers", "max_pending"):
+            value = getattr(self, key)
+            if isinstance(value, bool) or not isinstance(value, int) or value < 1:
+                problems.append(f"serve.{key}: must be a positive integer, got {value!r}")
+        if problems:
+            raise SpecError("serve", problems)
+
+    def with_overrides(
+        self,
+        *,
+        host: str | None = None,
+        port: int | None = None,
+        workers: int | None = None,
+        max_pending: int | None = None,
+    ) -> "ServeSettings":
+        """Copy with the given fields replaced (CLI flag overrides); ``None`` keeps."""
+        updates = {
+            key: value
+            for key, value in (
+                ("host", host),
+                ("port", port),
+                ("workers", workers),
+                ("max_pending", max_pending),
+            )
+            if value is not None
+        }
+        return replace(self, **updates) if updates else self
+
+    def to_spec(self) -> dict:
+        """JSON/TOML-ready ``[serve]`` table mapping."""
+        return {
+            "host": self.host,
+            "port": self.port,
+            "workers": self.workers,
+            "max_pending": self.max_pending,
+        }
+
+    @classmethod
+    def from_spec(cls, spec: Mapping) -> "ServeSettings":
+        """Validate a ``[serve]`` table mapping, collecting every problem."""
+        spec = check_spec_mapping(spec, "serve")
+        known = ("host", "port", "workers", "max_pending")
+        problems = unknown_key_problems(spec, known, "serve")
+        kwargs = {key: spec[key] for key in known if key in spec}
+        built = None
+        try:
+            built = cls(**kwargs)
+        except SpecError as exc:
+            problems.extend(exc.problems)
+        if problems or built is None:
+            raise SpecError("serve", problems)
+        return built
+
+
+@dataclass(frozen=True)
+class JobProgress:
+    """Per-cell progress of one job, streamed from the artifact store.
+
+    ``done_units`` counts completed work units (trials for grid kinds,
+    dataset×amount cells otherwise) out of ``total_units``; the trial
+    counters split completed units into computed-fresh vs served-from-
+    cache, and ``cells_written`` counts interim CVCP grid cells persisted
+    mid-trial (the resume granularity).
+    """
+
+    total_units: int = 0
+    done_units: int = 0
+    cells_written: int = 0
+    trials_computed: int = 0
+    trials_cached: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "total_units": self.total_units,
+            "done_units": self.done_units,
+            "cells_written": self.cells_written,
+            "trials_computed": self.trials_computed,
+            "trials_cached": self.trials_cached,
+        }
+
+
+@dataclass(frozen=True)
+class JobView:
+    """An immutable snapshot of one job, as the API returns it.
+
+    ``digest`` is the content digest of the submitted spec — identical
+    submissions share it, which is how duplicates are detected;
+    ``deduplicated`` marks a submission that joined an already-active
+    identical job instead of enqueueing a new one.
+    """
+
+    id: str
+    state: str
+    name: str
+    kind: str
+    digest: str
+    deduplicated: bool
+    progress: JobProgress
+    error: str | None = None
+
+    def as_dict(self) -> dict:
+        payload = {
+            "id": self.id,
+            "state": self.state,
+            "name": self.name,
+            "kind": self.kind,
+            "digest": self.digest,
+            "deduplicated": self.deduplicated,
+            "progress": self.progress.as_dict(),
+        }
+        if self.error is not None:
+            payload["error"] = self.error
+        return payload

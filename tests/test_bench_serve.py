@@ -1,0 +1,144 @@
+"""Unit tests for the ``repro bench serve`` record and regression gate."""
+
+import pytest
+
+from repro.cli import bench_serve
+from repro.utils.specs import SpecError
+
+
+def fresh_record(**overrides) -> dict:
+    record = {
+        "kind": "repro-bench-serve",
+        "machine": {"cpu_count": 4, "python": "3.12.0"},
+        "settings": {"clients": 8, "workers": 2},
+        "latency": {
+            "requests": 200,
+            "wall_s": 0.12,
+            "requests_per_s": 1600.0,
+            "p50_ms": 0.6,
+            "p99_ms": 1.0,
+        },
+        "jobs": {
+            "clients": 8,
+            "distinct_jobs": 1,
+            "duplicates_absorbed": 7,
+            "wave_trials_computed": 2,
+            "expected_trials": 2,
+            "submit_wave_s": 0.4,
+            "first_run_s": 1.2,
+            "cached_rerun_s": 0.1,
+            "trials_cached": 2,
+            "trials_computed": 0,
+            "cache_hit_rate": 1.0,
+            "parity": True,
+        },
+        "floors": dict(bench_serve.DEFAULT_FLOORS),
+    }
+    for dotted, value in overrides.items():
+        section, key = dotted.split(".")
+        record[section][key] = value
+    return record
+
+
+def baseline_for(record: dict) -> dict:
+    return {
+        bench_serve.BASELINE_SECTION: {
+            "floors": dict(record["floors"]),
+            "latency": dict(record["latency"]),
+            "jobs": dict(record["jobs"]),
+        }
+    }
+
+
+class TestNormalize:
+    def test_accepts_a_fresh_record(self):
+        record = fresh_record()
+        assert bench_serve.normalize_record(record) is record
+
+    def test_rejects_foreign_records(self):
+        with pytest.raises(ValueError, match="repro-bench-serve"):
+            bench_serve.normalize_record({"kind": "repro-bench-fleet"})
+
+    def test_rejects_missing_sections(self):
+        record = fresh_record()
+        del record["latency"]["p99_ms"]
+        with pytest.raises(ValueError, match="latency"):
+            bench_serve.normalize_record(record)
+        record = fresh_record()
+        del record["jobs"]["cache_hit_rate"]
+        with pytest.raises(ValueError, match="jobs"):
+            bench_serve.normalize_record(record)
+
+    def test_spec_protocol_wraps_validation(self):
+        record = fresh_record()
+        assert bench_serve.from_spec(bench_serve.to_spec(record)) == record
+        with pytest.raises(SpecError, match="serve bench record"):
+            bench_serve.from_spec({"kind": "nope"})
+        with pytest.raises(SpecError, match="table/object"):
+            bench_serve.from_spec([1])
+
+
+class TestCompare:
+    def test_clean_record_passes(self):
+        record = fresh_record()
+        assert bench_serve.compare_records(record, baseline_for(record)) == []
+
+    def test_missing_baseline_section_is_reported(self):
+        problems = bench_serve.compare_records(fresh_record(), {})
+        assert problems and "bench_serve" in problems[0]
+
+    def test_parity_failure_is_fatal(self):
+        record = fresh_record(**{"jobs.parity": False})
+        problems = bench_serve.compare_records(record, baseline_for(fresh_record()))
+        assert any("byte-parity" in problem for problem in problems)
+
+    def test_duplicate_work_is_flagged(self):
+        record = fresh_record(**{"jobs.wave_trials_computed": 4})
+        problems = bench_serve.compare_records(record, baseline_for(fresh_record()))
+        assert any("duplicate work" in problem for problem in problems)
+
+    def test_no_dedup_at_all_is_flagged(self):
+        record = fresh_record(**{"jobs.duplicates_absorbed": 0})
+        problems = bench_serve.compare_records(record, baseline_for(fresh_record()))
+        assert any("in-flight dedup" in problem for problem in problems)
+
+    def test_cache_hit_rate_floor(self):
+        record = fresh_record(**{"jobs.cache_hit_rate": 0.5})
+        problems = bench_serve.compare_records(record, baseline_for(fresh_record()))
+        assert any("hit rate" in problem for problem in problems)
+
+    def test_throughput_floor(self):
+        record = fresh_record(**{"latency.requests_per_s": 1.0})
+        problems = bench_serve.compare_records(record, baseline_for(fresh_record()))
+        assert any("req/s" in problem for problem in problems)
+
+    def test_p99_budget_vs_baseline(self):
+        record = fresh_record(**{"latency.p99_ms": 10.0})
+        baseline = baseline_for(fresh_record())
+        assert any(
+            "p99" in problem
+            for problem in bench_serve.compare_records(record, baseline, max_slowdown=1.0)
+        )
+        assert bench_serve.compare_records(record, baseline, max_slowdown=20.0) == []
+
+
+class TestFormatting:
+    def test_table_mentions_every_gated_metric(self):
+        table = bench_serve.format_serve_table(fresh_record())
+        for token in ("requests/s", "p99", "dedup", "cache-hit", "parity", "7/7", "2/2"):
+            assert token in table
+
+    def test_table_reads_floors_from_baseline(self):
+        record = fresh_record()
+        baseline = baseline_for(record)
+        baseline[bench_serve.BASELINE_SECTION]["floors"]["cache_hit_rate"] = 0.42
+        assert "0.42" in bench_serve.format_serve_table(record, baseline)
+
+
+class TestBenchSpec:
+    def test_bench_job_spec_is_a_valid_pipeline_spec(self):
+        from repro import api
+
+        spec = api.load_spec(bench_serve.bench_job_spec())
+        assert spec.config.n_trials == 2
+        assert spec.kind == "comparison"

@@ -150,6 +150,32 @@ weird = true
         assert "bogus" in text and "nope" in text  # both unknown oracle keys
         assert "execution.weird" in text
 
+    def test_serve_table_validated_with_other_tables(self, tmp_path):
+        """[serve] problems surface in the same pass as everything else."""
+        path = tmp_path / "bad.toml"
+        path.write_text(
+            GOOD_TOML.format(root=tmp_path / "artifacts")
+            + '\n[serve]\nport = 99999\nworkers = 0\nbogus = "x"\n',
+            encoding="utf-8",
+        )
+        problems = validate_pipeline_file(path)
+        text = "\n".join(problems)
+        assert "serve.port" in text
+        assert "serve.workers" in text
+        assert "serve.bogus: unknown key" in text
+
+    def test_serve_table_configures_the_server_settings(self, tmp_path):
+        from repro.serve.schemas import ServeSettings
+
+        path = tmp_path / "good.toml"
+        path.write_text(
+            GOOD_TOML.format(root=tmp_path / "artifacts")
+            + '\n[serve]\nhost = "0.0.0.0"\nport = 9000\nworkers = 4\nmax_pending = 8\n',
+            encoding="utf-8",
+        )
+        spec = load_pipeline_spec(path)
+        assert spec.serve == ServeSettings(host="0.0.0.0", port=9000, workers=4, max_pending=8)
+
     def test_unknown_oracle_name_rejected(self, tmp_path):
         path = tmp_path / "bad.toml"
         path.write_text(

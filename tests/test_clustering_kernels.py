@@ -411,6 +411,7 @@ class TestEndToEndParity:
     def test_cvcp_selects_identically_across_kernels_and_backends(self, backend, blobs_dataset):
         from repro.constraints.generation import sample_labeled_objects
         from repro.core.cvcp import CVCP
+        from repro.core.executor import ExecutionSpec
 
         side = sample_labeled_objects(blobs_dataset.y, 0.2, random_state=1)
         results = {}
@@ -420,8 +421,7 @@ class TestEndToEndParity:
                 parameter_values=[3, 6],
                 n_folds=3,
                 random_state=7,
-                backend=backend,
-                n_jobs=2,
+                execution=ExecutionSpec(backend=backend, n_jobs=2),
             )
             search.fit(blobs_dataset.X, labeled_objects=side)
             results[mode] = (

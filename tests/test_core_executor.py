@@ -8,6 +8,7 @@ from repro.constraints import build_constraint_pool, sample_labeled_objects
 from repro.core import CVCP, select_parameter
 from repro.core.executor import (
     BACKENDS,
+    ExecutionSpec,
     ProcessExecutor,
     SerialExecutor,
     ThreadExecutor,
@@ -119,8 +120,7 @@ class TestCVCPBackendParity:
             parameter_values=values,
             n_folds=4,
             random_state=42,
-            n_jobs=4,
-            backend=backend,
+            execution=ExecutionSpec(backend=backend, n_jobs=4),
         )
         search.fit(dataset.X, labeled_objects=side)
         return search
@@ -155,7 +155,7 @@ class TestCVCPBackendParity:
         for backend in BACKENDS:
             search = CVCP(
                 FOSCOpticsDend(), parameter_values=[3, 5, 8], n_folds=3,
-                random_state=7, n_jobs=2, backend=backend,
+                random_state=7, execution=ExecutionSpec(backend=backend, n_jobs=2),
             )
             search.fit(blobs_dataset.X, constraints=pool)
             results[backend] = (
@@ -169,9 +169,9 @@ class TestCVCPBackendParity:
         runs = [
             self._fit(FOSCOpticsDend(), [3, 5, 8], blobs_dataset, side, "serial"),
             CVCP(FOSCOpticsDend(), parameter_values=[3, 5, 8], n_folds=4,
-                 random_state=42, n_jobs=1, backend="thread"),
+                 random_state=42, execution=ExecutionSpec(backend="thread", n_jobs=1)),
             CVCP(FOSCOpticsDend(), parameter_values=[3, 5, 8], n_folds=4,
-                 random_state=42, n_jobs=3, backend="thread"),
+                 random_state=42, execution=ExecutionSpec(backend="thread", n_jobs=3)),
         ]
         runs[1].fit(blobs_dataset.X, labeled_objects=side)
         runs[2].fit(blobs_dataset.X, labeled_objects=side)
@@ -191,7 +191,7 @@ class TestCVCPBackendParity:
         thread_value, thread_results = select_parameter(
             FOSCOpticsDend(), blobs_dataset.X, [3, 5, 8],
             labeled_objects=side, n_folds=3, random_state=5,
-            n_jobs=2, backend="thread",
+            execution=ExecutionSpec(backend="thread", n_jobs=2),
         )
         assert serial_value == thread_value
         assert np.array_equal(serial_results.mean_scores, thread_results.mean_scores)

@@ -23,6 +23,7 @@ from repro.clustering.fosc import FOSCOpticsDend
 from repro.clustering.hierarchy import DensityHierarchy, mutual_reachability
 from repro.clustering.optics import OPTICS
 from repro.core.cvcp import CVCP
+from repro.core.executor import ExecutionSpec
 from repro.core.distance_backend import (
     DEFAULT_DISTANCE_BACKEND,
     DISTANCE_BACKEND_ENV_VAR,
@@ -175,9 +176,9 @@ class TestClusteringParity:
                 parameter_values=[3, 6],
                 n_folds=3,
                 random_state=11,
-                backend=executor,
-                n_jobs=2,
-                distance_backend=name,
+                execution=ExecutionSpec(
+                    backend=executor, n_jobs=2, distance_backend=name
+                ),
             )
             search.fit(blobs_dataset.X, labeled_objects=labeled)
             observed = (
@@ -194,7 +195,7 @@ class TestClusteringParity:
         search = CVCP(
             FOSCOpticsDend(min_pts=5),
             parameter_values=[3, 6],
-            distance_backend="blockwise",
+            execution=ExecutionSpec(distance_backend="blockwise"),
         )
         clone = search._make_estimator(6, seed=1)
         assert clone.distance_backend == "blockwise"
@@ -210,7 +211,11 @@ class TestClusteringParity:
 
     def test_cvcp_rejects_unknown_distance_backend(self):
         with pytest.raises(ValueError, match="distance_backend"):
-            CVCP(FOSCOpticsDend(), parameter_values=[3], distance_backend="bogus")
+            CVCP(
+                FOSCOpticsDend(),
+                parameter_values=[3],
+                execution=ExecutionSpec(distance_backend="bogus"),
+            )
 
 
 class TestMemmapSpillLifecycle:
@@ -367,9 +372,10 @@ class TestMemmapSpillLifecycle:
             parameter_values=[3],
             n_folds=2,
             random_state=0,
-            backend="process",
-            n_jobs=1,  # falls back inline: no real spawn cost in the test
-            distance_backend="memmap",
+            # n_jobs=1 falls back inline: no real spawn cost in the test
+            execution=ExecutionSpec(
+                backend="process", n_jobs=1, distance_backend="memmap"
+            ),
         )
         search.fit(blobs_dataset.X, labeled_objects=labeled)
         assert warmed and warmed[0] == "memmap"
@@ -383,9 +389,9 @@ class TestMemmapSpillLifecycle:
             parameter_values=[3, 6],
             n_folds=3,
             random_state=2,
-            backend="process",
-            n_jobs=2,
-            distance_backend="memmap",
+            execution=ExecutionSpec(
+                backend="process", n_jobs=2, distance_backend="memmap"
+            ),
         )
         search.fit(big_blobs.X, labeled_objects=labeled)
         finished = [p for p in spill_dir.iterdir() if p.suffix == ".dmm"]

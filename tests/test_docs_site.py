@@ -97,6 +97,11 @@ class TestMkdocstringsDirectives:
             "repro.experiments.fleet",
             "repro.experiments.dashboard",
             "repro.cli.main",
+            "repro.api",
+            "repro.utils.specs",
+            "repro.serve.jobs",
+            "repro.serve.server",
+            "repro.serve.client",
         ):
             assert f"::: {module}" in text, f"{module} missing from the API reference"
 
@@ -128,9 +133,10 @@ class TestSchemaDocsInSync:
 
     def test_every_cli_command_is_documented(self):
         cli_page = (DOCS_DIR / "cli.md").read_text(encoding="utf-8")
-        for command in ("repro run", "repro report", "repro bench",
-                        "repro bench kernels", "repro bench scale",
-                        "repro bench fleet", "repro status", "repro dashboard",
+        for command in ("repro run", "repro serve", "repro report",
+                        "repro bench", "repro bench kernels",
+                        "repro bench scale", "repro bench fleet",
+                        "repro bench serve", "repro status", "repro dashboard",
                         "repro datasets list", "repro validate-config"):
             assert command in cli_page
 
@@ -161,6 +167,31 @@ class TestSchemaDocsInSync:
         assert "repro.experiments.fleet" in architecture_page
         assert "Fleet" in architecture_page  # the component diagram row
         assert "work-stealing" in architecture_page
+
+    def test_serve_config_table_is_documented(self):
+        from dataclasses import fields
+
+        from repro.serve.schemas import ServeSettings
+
+        config_page = (DOCS_DIR / "config.md").read_text(encoding="utf-8")
+        assert "`[serve]`" in config_page
+        for field in fields(ServeSettings):
+            assert f"`{field.name}`" in config_page, f"serve key {field.name} undocumented"
+
+    def test_serve_page_covers_the_contract(self):
+        serve_page = (DOCS_DIR / "serve.md").read_text(encoding="utf-8")
+        for term in ("/v1/health", "/v1/jobs", "/v1/store/stats",
+                     "byte-identical", "deduplicated", "SIGKILL",
+                     "ServeClient", "repro.api", "BENCH_serve.json",
+                     "429", "409"):
+            assert term in serve_page, f"serve.md missing {term!r}"
+
+    def test_architecture_page_covers_the_serve_layer(self):
+        architecture_page = (DOCS_DIR / "architecture.md").read_text(encoding="utf-8")
+        assert "repro.serve" in architecture_page
+        assert "repro.api" in architecture_page
+        assert "Serve" in architecture_page  # the component diagram row
+        assert "byte-identical" in architecture_page
 
     def test_execution_distance_backend_key_is_documented(self):
         config_page = (DOCS_DIR / "config.md").read_text(encoding="utf-8")
