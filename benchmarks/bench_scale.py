@@ -1,11 +1,14 @@
 """Distance-backend parity smoke for the scale benchmark (CI-friendly).
 
 The full ``repro bench scale`` run measures wall-clock and peak RSS at up
-to n=10000 in fresh subprocesses; this module asserts the *correctness*
+to n=100000 in fresh subprocesses; this module asserts the *correctness*
 half of its contract at CI-smoke sizes: bit-identical labels across the
 dense/blockwise/memmap distance backends and across the
-serial/thread/process executors.  Run with ``--benchmark-disable`` for a
-pure parity check (what CI's bench-smoke job does).
+serial/thread/process executors, plus the ``neighbors`` tier's
+exhaustive-regime (``k = n``, ``epsilon = inf``) bit-parity with dense —
+through FOSC and through a CVCP grid on every executor.  Run with
+``--benchmark-disable`` for a pure parity check (what CI's bench-smoke
+job does).
 """
 
 from __future__ import annotations
@@ -27,6 +30,12 @@ def test_distance_backend_label_parity_multi_panel():
 
 def test_executor_modes_agree_under_every_distance_backend():
     bench_scale_module.assert_executor_parity(n_samples=120)
+
+
+def test_neighbors_tier_matches_dense_in_the_exhaustive_regime():
+    """The approximate tier reduces to exact when nothing is pruned."""
+    digest = bench_scale_module.assert_neighbor_backend_parity(n_samples=120)
+    assert digest
 
 
 @pytest.mark.parametrize("backend", DISTANCE_BACKENDS)

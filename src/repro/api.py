@@ -119,9 +119,10 @@ def run_pipeline(
 ) -> PipelineRunReport:
     """Execute a pipeline spec through the artifact store.
 
-    ``execution`` overrides the spec's execution engine (all engines and
-    distance tiers are bit-identical, so overriding never invalidates
-    cached artifacts); ``artifacts_root`` relocates the store — the serve
+    ``execution`` overrides the spec's execution engine (the engines and
+    exact distance tiers are bit-identical, so overriding them never
+    invalidates cached artifacts; the approximate ``neighbors`` tier keys
+    its own artifacts); ``artifacts_root`` relocates the store — the serve
     layer pins it to the server's root so every client shares one cache.
     """
     spec = load_spec(source)
@@ -133,6 +134,8 @@ def run_pipeline(
                 backend=execution.backend,
                 n_jobs=execution.n_jobs,
                 distance_backend=execution.distance_backend,
+                epsilon=execution.epsilon,
+                k_neighbors=execution.k_neighbors,
             )
         )
     result = _run_pipeline_spec(spec, store=store, write_reports=write_reports)

@@ -11,20 +11,29 @@ directory so memmap timings are cold.
 
 Parity is asserted **before** any timing is recorded:
 
-* the three distance backends must produce bit-identical labels (checked
-  in-process at a multi-panel size, and re-checked across every timed cell
-  via label digests);
+* the three exact distance backends must produce bit-identical labels
+  (checked in-process at a multi-panel size, and re-checked across every
+  timed cell via label digests);
 * the serial/thread/process executors must select identical parameters
-  with identical per-fold scores and final labels under every distance
-  backend (a small CVCP grid per combination).
+  with identical per-fold scores and final labels under every exact
+  distance backend (a small CVCP grid per combination);
+* the approximate ``neighbors`` tier must reduce exactly to the dense
+  labels in its exhaustive regime (``k = n``, ``epsilon = inf``), under
+  both kernel modes and all three executors.
 
 The record demonstrates the point of the tiers: the projected dense
 working set at ``n = 10000`` (three float64 matrices: distances, mutual
 reachability, and the full-matrix partition copy) exceeds a 2 GiB budget,
 while the memmap tier completes the same fit with a measured peak RSS
-under it.  ``BENCH_scale.json`` commits the recorded baseline; fresh
-records are gated on parity, wall-clock slowdown, an RSS growth slack, and
-the absolute memory budget for memmap cells.
+under it — and the sparse ``neighbors`` tier breaks the O(n²) wall
+entirely, completing a fit at ``n = 100000`` (dense projection: ~224 GiB)
+under the same 2 GiB budget.  Neighbors cells additionally record
+``ari_vs_exact`` — the ARI of the approximate labels against an exact-tier
+fit of the same data — wherever the exact fit is still tractable
+(``n <= 10000``); the gate enforces an ARI floor on those cells.
+``BENCH_scale.json`` commits the recorded baseline; fresh records are
+gated on parity, wall-clock slowdown, an RSS growth slack, the ARI floor,
+and the absolute memory budget for memmap and neighbors cells.
 """
 
 from __future__ import annotations
@@ -41,23 +50,42 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core.distance_backend import DISTANCE_BACKENDS, SPILL_DIR_ENV_VAR
+from repro.core.distance_backend import (
+    DISTANCE_BACKENDS,
+    EXACT_DISTANCE_BACKENDS,
+    SPILL_DIR_ENV_VAR,
+)
 from repro.utils.specs import SpecError, check_spec_mapping
 
 #: Benchmark problem sizes (number of objects).
-SCALE_SIZES: dict[str, int] = {"n1200": 1200, "n5000": 5000, "n10000": 10000}
+SCALE_SIZES: dict[str, int] = {
+    "n1200": 1200, "n5000": 5000, "n10000": 10000, "n100000": 100000,
+}
 
 #: Sizes each backend runs by default.  The dense/blockwise tiers stop at
-#: ``n5000``; only the memmap tier takes on ``n10000``, where the projected
-#: dense working set blows the memory budget.
+#: ``n5000``; the memmap tier takes on ``n10000``, where the projected
+#: dense working set blows the memory budget; only the sparse neighbors
+#: tier reaches ``n100000``, where even the out-of-core exact tiers are
+#: impractical (an 80 GB spill per matrix).
 DEFAULT_CELLS: dict[str, tuple[str, ...]] = {
     "dense": ("n1200", "n5000"),
     "blockwise": ("n1200", "n5000"),
     "memmap": ("n1200", "n5000", "n10000"),
+    "neighbors": ("n1200", "n5000", "n10000", "n100000"),
 }
 
 #: The memory budget the scale story is told against (2 GiB).
 MEMORY_BUDGET_BYTES = 2 * 1024**3
+
+#: Neighbour-graph out-degree of the benchmarked ``neighbors`` cells.
+NEIGHBOR_BENCH_K = 32
+
+#: Largest size where an exact-tier reference fit is still run to score the
+#: neighbors labels (ARI); beyond it ``ari_vs_exact`` is recorded as null.
+ARI_MAX_N = 10000
+
+#: ARI-vs-exact floor the gate enforces on neighbors cells that have one.
+ARI_FLOOR = 0.95
 
 #: Deterministic input-generation seed.
 SCALE_SEED = 20140324
@@ -100,7 +128,21 @@ def projected_dense_peak_bytes(n_samples: int) -> int:
 
 
 def peak_rss_bytes() -> int:
-    """This process's resident-set high-water mark in bytes."""
+    """This process's resident-set high-water mark in bytes.
+
+    On Linux, ``getrusage`` ru_maxrss carries the pre-exec address space's
+    high-water mark across fork+exec, so a cell subprocess launched from a
+    heavyweight parent would report the *parent's* footprint.  ``VmHWM``
+    in ``/proc/self/status`` belongs to the current mm (reset at exec) and
+    measures only this process's own peak, which is what the bench wants.
+    """
+    try:
+        with open("/proc/self/status") as status:
+            for line in status:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1]) * 1024
+    except OSError:
+        pass
     import resource
 
     peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
@@ -109,21 +151,39 @@ def peak_rss_bytes() -> int:
 
 
 def run_cell(backend: str, n_samples: int) -> dict:
-    """One measured fit of the full density pipeline in the current process."""
+    """One measured fit of the full density pipeline in the current process.
+
+    Neighbors cells fit the sparse tier first and snapshot the RSS
+    high-water mark *before* anything else runs, so the recorded peak
+    belongs to the approximate fit alone; an exact-tier reference fit (for
+    ``ari_vs_exact``) then follows where still tractable.
+    """
     from repro.clustering.fosc import FOSCOpticsDend
     from repro.utils.cache import clear_distance_cache
 
     dataset = scale_dataset(n_samples)
     clear_distance_cache()
+    kwargs = {}
+    if backend == "neighbors":
+        kwargs["k_neighbors"] = NEIGHBOR_BENCH_K
     start = time.perf_counter()
-    model = FOSCOpticsDend(min_pts=_MIN_PTS, distance_backend=backend).fit(dataset.X)
+    model = FOSCOpticsDend(min_pts=_MIN_PTS, distance_backend=backend, **kwargs).fit(dataset.X)
     wall_s = time.perf_counter() - start
-    return {
+    entry = {
         "wall_s": wall_s,
         "peak_rss_bytes": peak_rss_bytes(),
         "labels_digest": labels_digest(model.labels_),
         "n_clusters": int(np.unique(model.labels_[model.labels_ >= 0]).size),
     }
+    if backend == "neighbors":
+        entry["ari_vs_exact"] = None
+        if n_samples <= ARI_MAX_N:
+            from repro.evaluation.external import adjusted_rand_index
+
+            clear_distance_cache()
+            exact = FOSCOpticsDend(min_pts=_MIN_PTS, distance_backend="blockwise").fit(dataset.X)
+            entry["ari_vs_exact"] = float(adjusted_rand_index(exact.labels_, model.labels_))
+    return entry
 
 
 def check_spill_writable() -> Path:
@@ -178,14 +238,14 @@ def _run_cell_subprocess(backend: str, n_samples: int) -> dict:
 
 
 def assert_distance_backend_parity(n_samples: int = PARITY_N) -> str:
-    """Assert all three backends produce bit-identical labels; returns the digest."""
+    """Assert the exact backends produce bit-identical labels; returns the digest."""
     from repro.clustering.fosc import FOSCOpticsDend
     from repro.utils.cache import clear_distance_cache
 
     check_spill_writable()
     dataset = scale_dataset(n_samples)
     digests: dict[str, str] = {}
-    for backend in DISTANCE_BACKENDS:
+    for backend in EXACT_DISTANCE_BACKENDS:
         clear_distance_cache()
         model = FOSCOpticsDend(min_pts=_MIN_PTS, distance_backend=backend).fit(dataset.X)
         digests[backend] = labels_digest(model.labels_)
@@ -198,8 +258,81 @@ def assert_distance_backend_parity(n_samples: int = PARITY_N) -> str:
     return digests["dense"]
 
 
+def assert_neighbor_backend_parity(n_samples: int = PARITY_N) -> str:
+    """Assert the neighbors tier reduces to dense labels in its exhaustive regime.
+
+    The approximate-by-contract guarantee (see
+    :mod:`repro.core.neighbor_graph`): at ``k_neighbors = n`` and
+    ``epsilon = inf`` the sparse graphs hold every pairwise entry, so the
+    fitted labels must be bit-identical to the dense tier — under both
+    kernel modes and all three executors.  Returns the shared digest.
+    """
+    from repro.clustering.fosc import FOSCOpticsDend
+    from repro.constraints.generation import sample_labeled_objects
+    from repro.core.cvcp import CVCP
+    from repro.core.executor import BACKENDS, ExecutionSpec
+    from repro.utils.cache import clear_distance_cache
+
+    dataset = scale_dataset(n_samples)
+    digests: dict[str, str] = {}
+    for kernels in ("vectorized", "reference"):
+        clear_distance_cache()
+        dense = FOSCOpticsDend(
+            min_pts=_MIN_PTS, kernels=kernels, distance_backend="dense"
+        ).fit(dataset.X)
+        digests[f"dense/{kernels}"] = labels_digest(dense.labels_)
+        clear_distance_cache()
+        sparse = FOSCOpticsDend(
+            min_pts=_MIN_PTS, kernels=kernels, distance_backend="neighbors",
+            epsilon=float("inf"), k_neighbors=n_samples,
+        ).fit(dataset.X)
+        digests[f"neighbors/{kernels}"] = labels_digest(sparse.labels_)
+    if len(set(digests.values())) != 1:
+        raise RuntimeError(
+            "neighbors tier diverged from dense in the exhaustive regime "
+            f"(k=n, epsilon=inf must be entry-for-entry equal, so this is a bug): {digests}"
+        )
+
+    # A small CVCP grid per executor under the exhaustive neighbors tier
+    # must reproduce the dense selections and labels bit-for-bit.
+    grid_n = min(n_samples, 240)
+    grid_data = scale_dataset(grid_n)
+    labeled = sample_labeled_objects(grid_data.y, 0.1, random_state=3)
+    reference: dict | None = None
+    for distance_backend, executor in (
+        [("dense", "serial")] + [("neighbors", executor) for executor in BACKENDS]
+    ):
+        clear_distance_cache()
+        spec_kwargs = {"backend": executor, "n_jobs": 2, "distance_backend": distance_backend}
+        if distance_backend == "neighbors":
+            spec_kwargs.update(epsilon=float("inf"), k_neighbors=grid_n)
+        search = CVCP(
+            FOSCOpticsDend(min_pts=_MIN_PTS),
+            parameter_values=[3, 6, 9],
+            n_folds=3,
+            random_state=SCALE_SEED,
+            execution=ExecutionSpec(**spec_kwargs),
+        )
+        search.fit(grid_data.X, labeled_objects=labeled)
+        observed = {
+            "best": search.best_params_,
+            "scores": [evaluation.fold_scores for evaluation in search.cv_results_.evaluations],
+            "labels": labels_digest(search.labels_),
+        }
+        if reference is None:
+            reference = observed
+        elif observed != reference:
+            raise RuntimeError(
+                "exhaustive-neighbors/executor parity violated at "
+                f"(executor={executor}, distance_backend={distance_backend}): "
+                f"{observed} != {reference}"
+            )
+    clear_distance_cache()
+    return digests["dense/vectorized"]
+
+
 def assert_executor_parity(n_samples: int = 240) -> None:
-    """Assert serial/thread/process executors agree under every distance backend."""
+    """Assert serial/thread/process executors agree under every exact backend."""
     from repro.clustering.fosc import FOSCOpticsDend
     from repro.constraints.generation import sample_labeled_objects
     from repro.core.cvcp import CVCP
@@ -209,7 +342,7 @@ def assert_executor_parity(n_samples: int = 240) -> None:
     dataset = scale_dataset(n_samples)
     labeled = sample_labeled_objects(dataset.y, 0.1, random_state=3)
     reference: dict | None = None
-    for distance_backend in DISTANCE_BACKENDS:
+    for distance_backend in EXACT_DISTANCE_BACKENDS:
         for executor in BACKENDS:
             clear_distance_cache()
             search = CVCP(
@@ -265,6 +398,8 @@ def run_bench_scale(
     # runs whose labels agree.
     check_spill_writable()
     assert_distance_backend_parity()
+    if "neighbors" in backends:
+        assert_neighbor_backend_parity()
     if not skip_executor_parity:
         assert_executor_parity()
 
@@ -282,7 +417,11 @@ def run_bench_scale(
             best["rounds"] = max(1, rounds)
             best["parity"] = True
             results.setdefault(backend, {})[size_name] = best
-            digests.setdefault(size_name, {})[backend] = best["labels_digest"]
+            # Only the exact tiers carry the bit-identity contract; the
+            # neighbors tier is approximate and its digests are excluded
+            # from the cross-backend comparison (it is gated on ARI instead).
+            if backend in EXACT_DISTANCE_BACKENDS:
+                digests.setdefault(size_name, {})[backend] = best["labels_digest"]
 
     for size_name, per_backend in digests.items():
         if len(set(per_backend.values())) > 1:
@@ -349,6 +488,7 @@ def compare_records(
     *,
     max_slowdown: float = 0.25,
     rss_slack: float = 0.35,
+    ari_floor: float = ARI_FLOOR,
     expected_cells: dict[str, tuple[str, ...]] | None = None,
 ) -> list[str]:
     """Regression problems of a fresh scale record against the baseline.
@@ -356,16 +496,21 @@ def compare_records(
     For every ``(backend, size)`` cell present in the baseline (and, when
     ``expected_cells`` names a deliberate subset run, covered by it) the
     fresh record must: exist with its parity flag intact, agree on the
-    label digest across backends per size, stay within ``max_slowdown`` of
-    the baseline wall-clock and within ``rss_slack`` of the baseline peak
-    RSS — and memmap cells must additionally stay under the absolute
-    ``budget_bytes`` recorded in the baseline (the 2 GiB scale story).
+    label digest across the *exact* backends per size, stay within
+    ``max_slowdown`` of the baseline wall-clock and within ``rss_slack`` of
+    the baseline peak RSS — and memmap and neighbors cells must
+    additionally stay under the absolute ``budget_bytes`` recorded in the
+    baseline (the 2 GiB scale story).  Neighbors cells are exempt from the
+    digest-equality check (the tier is approximate by contract) and are
+    instead gated on ``ari_vs_exact >= ari_floor`` wherever the baseline
+    recorded an exact-reference ARI for that cell.
     """
     section = baseline.get(BASELINE_SECTION)
     if not isinstance(section, dict):
         return [f"baseline is missing the {BASELINE_SECTION!r} section"]
     baseline_wall = section.get("wall_s", {})
     baseline_rss = section.get("peak_rss_bytes", {})
+    baseline_ari = section.get("ari_vs_exact", {})
     budget = section.get("budget_bytes", MEMORY_BUDGET_BYTES)
 
     problems: list[str] = []
@@ -385,7 +530,7 @@ def compare_records(
                 continue
             if not entry.get("parity", False):
                 problems.append(f"{backend}/{size}: parity mismatch flagged in the fresh record")
-            if entry.get("labels_digest"):
+            if entry.get("labels_digest") and backend in EXACT_DISTANCE_BACKENDS:
                 digests.setdefault(size, {})[backend] = entry["labels_digest"]
             slowdown = wall / base_wall - 1.0
             if slowdown > max_slowdown:
@@ -402,11 +547,23 @@ def compare_records(
                         f"{growth:+.0%} vs baseline {base_rss / 2**20:.0f} MiB "
                         f"(allowed {rss_slack:+.0%})"
                     )
-            if backend == "memmap" and rss > budget:
+            if backend in ("memmap", "neighbors") and rss > budget:
                 problems.append(
                     f"{backend}/{size}: peak RSS {rss / 2**20:.0f} MiB exceeds the "
-                    f"{budget / 2**20:.0f} MiB budget the memmap tier must hold"
+                    f"{budget / 2**20:.0f} MiB budget the {backend} tier must hold"
                 )
+            if backend == "neighbors" and baseline_ari.get(backend, {}).get(size) is not None:
+                ari = entry.get("ari_vs_exact")
+                if ari is None:
+                    problems.append(
+                        f"{backend}/{size}: fresh record is missing ari_vs_exact "
+                        "(the baseline has an exact-reference ARI for this cell)"
+                    )
+                elif ari < ari_floor:
+                    problems.append(
+                        f"{backend}/{size}: ARI vs exact {ari:.3f} is below the "
+                        f"{ari_floor:.2f} floor"
+                    )
     for size, per_backend in digests.items():
         if len(set(per_backend.values())) > 1:
             problems.append(f"{size}: label digests differ across backends: {per_backend}")
@@ -428,7 +585,7 @@ def format_scale_table(
         baseline_wall = baseline.get(BASELINE_SECTION, {}).get("wall_s", {})
     lines = [
         f"{'backend':<11} {'size':<8} {'wall':>9} {'peak RSS':>10} "
-        f"{'dense projected':>16} {'vs baseline':>12}"
+        f"{'dense projected':>16} {'ari':>6} {'vs baseline':>12}"
     ]
     for backend in DISTANCE_BACKENDS:
         if backend not in fresh:
@@ -441,10 +598,12 @@ def format_scale_table(
             wall = entry.get("wall_s", float("nan"))
             rss = entry.get("peak_rss_bytes", 0)
             delta = f"{wall / base - 1.0:+.0%}" if base else "-"
+            ari = entry.get("ari_vs_exact")
+            ari_text = f"{ari:.3f}" if isinstance(ari, float) else "-"
             projected = projected_dense_peak_bytes(n_samples)
             lines.append(
                 f"{backend:<11} {size:<8} {wall:>8.2f}s {rss / 2**20:>9.0f}M "
-                f"{projected / 2**20:>15.0f}M {delta:>12}"
+                f"{projected / 2**20:>15.0f}M {ari_text:>6} {delta:>12}"
             )
     return "\n".join(lines)
 

@@ -329,7 +329,8 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "comma-separated sizes to run for every backend "
             f"(choices: {','.join(bench_scale_module.SCALE_SIZES)}; default: the "
-            "per-backend schedule — dense/blockwise up to n5000, memmap up to n10000)"
+            "per-backend schedule — dense/blockwise up to n5000, memmap up to "
+            "n10000, neighbors up to n100000)"
         ),
     )
     scale_parser.add_argument(
@@ -552,7 +553,24 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
         choices=DISTANCE_BACKENDS,
         help=(
             "override the distance-matrix storage tier "
-            "(results are bit-identical across tiers)"
+            "(results are bit-identical across the exact tiers; 'neighbors' "
+            "is the approximate sparse tier)"
+        ),
+    )
+    parser.add_argument(
+        "--epsilon",
+        type=float,
+        help=(
+            "neighbour-graph radius for --distance-backend neighbors "
+            "(default: REPRO_NEIGHBOR_EPSILON, else inf)"
+        ),
+    )
+    parser.add_argument(
+        "--k-neighbors",
+        type=int,
+        help=(
+            "neighbour-graph out-degree for --distance-backend neighbors "
+            "(default: REPRO_NEIGHBOR_K, else 32)"
         ),
     )
 
@@ -596,15 +614,18 @@ def _command_run(args: argparse.Namespace, *, reports_only: bool = False) -> int
         # reports byte-identical).
         from repro import api
 
-        result = api.run_pipeline(
-            spec,
-            store=store,
-            execution=ExecutionSpec(
+        try:
+            execution = ExecutionSpec(
                 backend=args.backend,
                 n_jobs=args.n_jobs,
                 distance_backend=args.distance_backend,
-            ),
-        )
+                epsilon=args.epsilon,
+                k_neighbors=args.k_neighbors,
+            )
+        except SpecError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        result = api.run_pipeline(spec, store=store, execution=execution)
 
     if not quiet:
         print(result.report_text)
@@ -774,6 +795,8 @@ def _command_bench_scale(args: argparse.Namespace) -> int:
         if args.parity_only:
             try:
                 bench_scale_module.assert_distance_backend_parity()
+                if "neighbors" in backends:
+                    bench_scale_module.assert_neighbor_backend_parity()
                 bench_scale_module.assert_executor_parity()
             except (RuntimeError, ValueError, OSError) as exc:
                 # OSError covers an unwritable spill directory: one line on

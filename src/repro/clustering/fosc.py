@@ -237,9 +237,15 @@ class FOSCOpticsDend(BaseClusterer):
         either way; see :mod:`repro.clustering.kernels`.
     distance_backend:
         Storage tier for the distance matrices — ``"dense"`` (default),
-        ``"blockwise"`` or ``"memmap"``; ``None`` consults
-        ``REPRO_DISTANCE_BACKEND``.  All tiers produce bit-identical
-        labels; see :mod:`repro.core.distance_backend`.
+        ``"blockwise"``, ``"memmap"`` or ``"neighbors"``; ``None``
+        consults ``REPRO_DISTANCE_BACKEND``.  The exact tiers produce
+        bit-identical labels; ``"neighbors"`` builds the hierarchy from a
+        sparse epsilon-bounded k-NN graph and is approximate-by-contract
+        (see :mod:`repro.core.neighbor_graph`).
+    epsilon / k_neighbors:
+        Neighbour-graph radius and out-degree for the ``"neighbors"``
+        tier (``None`` consults ``REPRO_NEIGHBOR_EPSILON`` /
+        ``REPRO_NEIGHBOR_K``); ignored by the exact tiers.
 
     Attributes
     ----------
@@ -263,6 +269,8 @@ class FOSCOpticsDend(BaseClusterer):
         metric: str = "euclidean",
         kernels: str | None = None,
         distance_backend: str | None = None,
+        epsilon: float | None = None,
+        k_neighbors: int | None = None,
         random_state: RandomStateLike = None,
     ) -> None:
         self.min_pts = min_pts
@@ -271,6 +279,8 @@ class FOSCOpticsDend(BaseClusterer):
         self.metric = metric
         self.kernels = kernels
         self.distance_backend = distance_backend
+        self.epsilon = epsilon
+        self.k_neighbors = k_neighbors
         self.random_state = random_state
 
     def fit(
@@ -297,6 +307,8 @@ class FOSCOpticsDend(BaseClusterer):
             metric=self.metric,
             kernels=self.kernels,
             distance_backend=self.distance_backend,
+            epsilon=self.epsilon,
+            k_neighbors=self.k_neighbors,
         ).fit(X)
         fosc = FOSC(stability_weight=self.stability_weight)
         selection = fosc.extract(hierarchy.condensed_tree_, constraints)

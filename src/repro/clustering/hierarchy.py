@@ -396,10 +396,18 @@ class DensityHierarchy:
     distance_backend:
         Storage tier for the pairwise and mutual-reachability matrices —
         ``"dense"`` (default, whole-matrix in RAM), ``"blockwise"``
-        (in RAM, streamed row blocks) or ``"memmap"`` (out-of-core spill
-        files); ``None`` consults ``REPRO_DISTANCE_BACKEND``.  All tiers
-        build bit-identical hierarchies; see
-        :mod:`repro.core.distance_backend`.
+        (in RAM, streamed row blocks), ``"memmap"`` (out-of-core spill
+        files) or ``"neighbors"`` (sparse epsilon-bounded k-NN graphs, no
+        full matrix at all); ``None`` consults ``REPRO_DISTANCE_BACKEND``.
+        The exact tiers build bit-identical hierarchies; the ``neighbors``
+        tier is approximate-by-contract (see
+        :mod:`repro.core.neighbor_graph`), and its fitted
+        ``mutual_reachability_`` is a :class:`scipy.sparse.csr_matrix`
+        instead of a dense array.
+    epsilon / k_neighbors:
+        Neighbour-graph radius and out-degree for the ``"neighbors"`` tier
+        (``None`` consults ``REPRO_NEIGHBOR_EPSILON``/``REPRO_NEIGHBOR_K``);
+        ignored by the exact tiers.
     """
 
     def __init__(
@@ -410,6 +418,8 @@ class DensityHierarchy:
         metric: str = "euclidean",
         kernels: str | None = None,
         distance_backend: str | None = None,
+        epsilon: float | None = None,
+        k_neighbors: int | None = None,
     ) -> None:
         self.min_pts = check_positive_int(min_pts, name="min_pts")
         self.min_cluster_size = (
@@ -419,6 +429,8 @@ class DensityHierarchy:
         self.metric = metric
         self.kernels = kernels
         self.distance_backend = distance_backend
+        self.epsilon = epsilon
+        self.k_neighbors = k_neighbors
 
     def fit(self, X: np.ndarray) -> "DensityHierarchy":
         """Build the hierarchy for ``X``."""
@@ -432,28 +444,51 @@ class DensityHierarchy:
         n_samples = X.shape[0]
         mode = _kernels.resolve_kernel_mode(self.kernels)
         backend = get_distance_backend(self.distance_backend)
-        block = backend.block_rows(n_samples)
-        # Memoised: every (value × fold) grid cell of a CVCP sweep shares the
-        # same O(n²) matrix, so only the first cell per process computes it.
-        distances = cached_pairwise_distances(
-            X, metric=self.metric, distance_backend=backend.name
-        )
-        self.core_distances_ = k_nearest_distances(distances, self.min_pts, block_rows=block)
-        if block is None:
-            # Dense tier: the historical whole-matrix transform.
-            self.mutual_reachability_ = mutual_reachability(distances, self.core_distances_)
-        else:
-            # Streaming tiers: fill backend-provided storage block-at-a-time
-            # (an ephemeral spill for memmap), then drop the raw matrix's
-            # page residency — it is not read again during this fit.
-            self.mutual_reachability_ = mutual_reachability(
-                distances, self.core_distances_,
-                out=backend.derived_matrix(n_samples, "mreach"),
-                block_rows=block,
+        if backend.name == "neighbors":
+            # Sparse tier: core distances, mutual reachability and the MST
+            # are all derived from the epsilon-bounded k-NN graph — storage
+            # and work scale with n·k, never n².  The merge records feed
+            # the same single-linkage/condense kernels as the dense path.
+            from repro.core.neighbor_graph import (
+                cached_neighbor_graph,
+                mutual_reachability_graph,
+                sparse_mst_edges,
             )
-            backend.release(distances)
-        self.mst_edges_ = minimum_spanning_tree(self.mutual_reachability_, kernels=mode)
-        backend.release(self.mutual_reachability_)
+
+            graph = cached_neighbor_graph(
+                X, metric=self.metric, epsilon=self.epsilon, k_neighbors=self.k_neighbors
+            )
+            self.core_distances_ = graph.core_distances(self.min_pts)
+            self.mutual_reachability_ = mutual_reachability_graph(
+                graph.graph, self.core_distances_
+            )
+            self.mst_edges_ = sparse_mst_edges(self.mutual_reachability_)
+        else:
+            block = backend.block_rows(n_samples)
+            # Memoised: every (value × fold) grid cell of a CVCP sweep shares
+            # the same O(n²) matrix, so only the first cell per process
+            # computes it.
+            distances = cached_pairwise_distances(
+                X, metric=self.metric, distance_backend=backend.name
+            )
+            self.core_distances_ = k_nearest_distances(
+                distances, self.min_pts, block_rows=block
+            )
+            if block is None:
+                # Dense tier: the historical whole-matrix transform.
+                self.mutual_reachability_ = mutual_reachability(distances, self.core_distances_)
+            else:
+                # Streaming tiers: fill backend-provided storage block-at-a-time
+                # (an ephemeral spill for memmap), then drop the raw matrix's
+                # page residency — it is not read again during this fit.
+                self.mutual_reachability_ = mutual_reachability(
+                    distances, self.core_distances_,
+                    out=backend.derived_matrix(n_samples, "mreach"),
+                    block_rows=block,
+                )
+                backend.release(distances)
+            self.mst_edges_ = minimum_spanning_tree(self.mutual_reachability_, kernels=mode)
+            backend.release(self.mutual_reachability_)
         self.single_linkage_tree_ = build_single_linkage_tree(
             self.mst_edges_, X.shape[0], kernels=mode
         )

@@ -51,9 +51,17 @@ class OPTICS(BaseClusterer):
         :mod:`repro.clustering.kernels`.
     distance_backend:
         Storage tier for the pairwise-distance matrix — ``"dense"``
-        (default), ``"blockwise"`` or ``"memmap"``; ``None`` consults
-        ``REPRO_DISTANCE_BACKEND``.  All tiers are bit-identical; see
-        :mod:`repro.core.distance_backend`.
+        (default), ``"blockwise"``, ``"memmap"`` or ``"neighbors"``;
+        ``None`` consults ``REPRO_DISTANCE_BACKEND``.  The exact tiers are
+        bit-identical; ``"neighbors"`` runs the sweep over a sparse
+        epsilon-bounded k-NN graph instead of the full matrix
+        (approximate-by-contract; see :mod:`repro.core.neighbor_graph`).
+    epsilon / k_neighbors:
+        Neighbour-graph radius and out-degree for the ``"neighbors"``
+        tier (``None`` consults ``REPRO_NEIGHBOR_EPSILON`` /
+        ``REPRO_NEIGHBOR_K``); ignored by the exact tiers.  ``epsilon``
+        bounds the *graph*, while ``eps`` bounds the OPTICS scan — the
+        effective radius is their minimum.
 
     Attributes
     ----------
@@ -80,6 +88,8 @@ class OPTICS(BaseClusterer):
         metric: str = "euclidean",
         kernels: str | None = None,
         distance_backend: str | None = None,
+        epsilon: float | None = None,
+        k_neighbors: int | None = None,
         random_state: RandomStateLike = None,
     ) -> None:
         self.min_pts = min_pts
@@ -87,6 +97,8 @@ class OPTICS(BaseClusterer):
         self.metric = metric
         self.kernels = kernels
         self.distance_backend = distance_backend
+        self.epsilon = epsilon
+        self.k_neighbors = k_neighbors
         self.random_state = random_state
 
     def fit(
@@ -106,6 +118,28 @@ class OPTICS(BaseClusterer):
         from repro.core.distance_backend import get_distance_backend
 
         backend = get_distance_backend(self.distance_backend)
+        if backend.name == "neighbors":
+            # Sparse tier: the sweep runs over the epsilon-bounded k-NN
+            # graph; no full matrix exists.  Both kernel modes share this
+            # one implementation, so parity across modes is structural.
+            from repro.core.neighbor_graph import (
+                cached_neighbor_graph,
+                sparse_optics_ordering,
+            )
+
+            graph = cached_neighbor_graph(
+                X, metric=self.metric, epsilon=self.epsilon, k_neighbors=self.k_neighbors
+            )
+            self.core_distances_ = graph.core_distances(min_pts)
+            self.ordering_, self.reachability_ = sparse_optics_ordering(
+                graph.graph, self.core_distances_, self.eps
+            )
+            if np.isfinite(self.eps):
+                self.labels_ = self.extract_dbscan(self.eps)
+            else:
+                self.labels_ = np.zeros(X.shape[0], dtype=np.int64)
+            self._distances = None
+            return self
         distances = cached_pairwise_distances(
             X, metric=self.metric, distance_backend=backend.name
         )

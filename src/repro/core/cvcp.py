@@ -293,6 +293,8 @@ class CVCP:
         self.distance_backend = (
             None if distance_backend is None else resolve_distance_backend(distance_backend)
         )
+        self.epsilon = execution.epsilon
+        self.k_neighbors = execution.k_neighbors
         self.artifact_store = artifact_store
         self.artifact_scope = artifact_scope
 
@@ -354,16 +356,18 @@ class CVCP:
 
         if self.backend == "process" and "metric" in self.estimator.get_params():
             effective = self._effective_distance_backend()
+            resolved = resolve_distance_backend(effective)
             # Warm the per-process distance cache before the pool starts.
             # Fork-started workers inherit the in-RAM matrix for free;
             # that is pointless under spawn/forkserver, where each worker
             # computes (and then caches) its own copy.  The memmap tier is
             # warmed under *every* start method: the warm call writes the
             # fingerprint-keyed spill file, which all workers — however
-            # started — map instead of recomputing.
-            if (
-                multiprocessing.get_start_method() == "fork"
-                or resolve_distance_backend(effective) == "memmap"
+            # started — map instead of recomputing.  The neighbors tier has
+            # no full matrix to warm — its graph memo is warmed lazily in
+            # whichever worker builds it first.
+            if resolved != "neighbors" and (
+                multiprocessing.get_start_method() == "fork" or resolved == "memmap"
             ):
                 cached_pairwise_distances(
                     X, self.estimator.metric, distance_backend=effective
@@ -495,6 +499,11 @@ class CVCP:
             and "distance_backend" in self.estimator.get_params()
         ):
             overrides["distance_backend"] = self.distance_backend
+        params = self.estimator.get_params()
+        if self.epsilon is not None and "epsilon" in params:
+            overrides["epsilon"] = self.epsilon
+        if self.k_neighbors is not None and "k_neighbors" in params:
+            overrides["k_neighbors"] = self.k_neighbors
         return self.estimator.clone(**overrides)
 
     def _refit(

@@ -1,4 +1,4 @@
-"""Tiered pairwise-distance backends: ``dense``, ``blockwise`` and ``memmap``.
+"""Tiered distance backends: ``dense``, ``blockwise``, ``memmap`` and ``neighbors``.
 
 The CVCP protocol re-clusters every (parameter value × fold) cell, and every
 density-based layer of this library — OPTICS, the single-linkage/Prim
@@ -23,25 +23,40 @@ matrix *provider* pluggable instead:
     process-backend executor workers **map the same file** instead of
     recomputing or receiving the matrix over a pipe, and a re-run after a
     kill reuses the finished spill.
+``neighbors``
+    Sub-quadratic: no full matrix at all.  A KD-tree epsilon-bounded k-NN
+    graph (:mod:`repro.core.neighbor_graph`) replaces the matrix with
+    sparse CSR structures, making ``n = 100000`` fits feasible.  This tier
+    is **approximate-by-contract**, not bit-identical — see below.
 
 Bit-identity contract
 ---------------------
-All three tiers produce **bit-identical** matrices — and therefore
-bit-identical clusterings — for the same input, because the canonical
-computation is the fixed row-panel scheme of
-:mod:`repro.clustering.distances`: every tier performs the same per-panel
-NumPy/BLAS calls and differs only in where the result is stored and how the
-derived passes are scheduled.  Parity is enforced across backends *and*
-across the serial/thread/process executors by ``tests/test_distance_backend.py``
-and asserted before timing by ``repro bench scale``.
+The three *exact* tiers (:data:`EXACT_DISTANCE_BACKENDS`) produce
+**bit-identical** matrices — and therefore bit-identical clusterings — for
+the same input, because the canonical computation is the fixed row-panel
+scheme of :mod:`repro.clustering.distances`: every exact tier performs the
+same per-panel NumPy/BLAS calls and differs only in where the result is
+stored and how the derived passes are scheduled.  Parity is enforced
+across backends *and* across the serial/thread/process executors by
+``tests/test_distance_backend.py`` and asserted before timing by
+``repro bench scale``.
+
+The ``neighbors`` tier sits outside this contract: points only see their
+``k_neighbors`` nearest neighbours within ``epsilon``.  Its own contract —
+entry-for-entry equality with ``dense`` in the exhaustive
+``k_neighbors >= n`` regime, ARI-vs-exact floors at practical settings —
+is documented in ``docs/determinism.md`` and enforced by
+``tests/test_neighbor_graph.py`` and the scale bench.
 
 Selection
 ---------
-Every consumer takes ``distance_backend="dense" | "blockwise" | "memmap"``
+Every consumer takes
+``distance_backend="dense" | "blockwise" | "memmap" | "neighbors"``
 (``None`` consults the ``REPRO_DISTANCE_BACKEND`` environment variable and
 falls back to ``"dense"``).  The spill directory honours
-``REPRO_DISTANCE_SPILL_DIR``; worker processes inherit both variables, so
-the process executor composes with every tier.
+``REPRO_DISTANCE_SPILL_DIR``; the ``neighbors`` tier additionally reads
+``REPRO_NEIGHBOR_EPSILON``/``REPRO_NEIGHBOR_K``.  Worker processes inherit
+all of these variables, so the process executor composes with every tier.
 """
 
 from __future__ import annotations
@@ -58,8 +73,14 @@ import numpy as np
 #: Per-process counter making spill temp names unique per fill.
 _FILL_COUNTER = itertools.count()
 
-#: Recognised distance backends, in order of increasing scale.
-DISTANCE_BACKENDS: tuple[str, ...] = ("dense", "blockwise", "memmap")
+#: The exact full-matrix tiers: bit-identical to each other by construction.
+EXACT_DISTANCE_BACKENDS: tuple[str, ...] = ("dense", "blockwise", "memmap")
+
+#: Recognised distance backends, in order of increasing scale.  The
+#: ``neighbors`` tier is *approximate-by-contract* (sparse k-NN graphs; see
+#: :mod:`repro.core.neighbor_graph`) — bit-identity loops and shared-cache
+#: assumptions must iterate :data:`EXACT_DISTANCE_BACKENDS` instead.
+DISTANCE_BACKENDS: tuple[str, ...] = EXACT_DISTANCE_BACKENDS + ("neighbors",)
 
 #: Backend used when neither the argument nor the environment selects one.
 DEFAULT_DISTANCE_BACKEND = "dense"
@@ -80,9 +101,9 @@ def resolve_distance_backend(backend: str | None = None) -> str:
     Parameters
     ----------
     backend:
-        ``"dense"``, ``"blockwise"``, ``"memmap"``, or ``None``.  ``None``
-        reads ``REPRO_DISTANCE_BACKEND`` and falls back to
-        :data:`DEFAULT_DISTANCE_BACKEND` when it is unset or empty.
+        ``"dense"``, ``"blockwise"``, ``"memmap"``, ``"neighbors"``, or
+        ``None``.  ``None`` reads ``REPRO_DISTANCE_BACKEND`` and falls back
+        to :data:`DEFAULT_DISTANCE_BACKEND` when it is unset or empty.
 
     Raises
     ------
@@ -293,10 +314,42 @@ class MemmapBackend(DistanceBackend):
         _advise_dontneed(matrix)
 
 
+class NeighborsBackend(DistanceBackend):
+    """The sparse epsilon-bounded k-NN tier (:mod:`repro.core.neighbor_graph`).
+
+    This tier never materialises the full pairwise matrix — consumers that
+    know about it (OPTICS, :class:`~repro.clustering.hierarchy.DensityHierarchy`)
+    branch to the sparse graph pipeline instead of calling :meth:`pairwise`;
+    consumers that genuinely need all ``n²`` entries (the silhouette,
+    MPCK-Means, non-Euclidean metrics) get a clear error pointing at the
+    exact tiers.
+    """
+
+    name = "neighbors"
+
+    def block_rows(self, n_samples: int) -> int | None:
+        return None
+
+    def _full_matrix_error(self, consumer: str) -> ValueError:
+        return ValueError(
+            f"distance_backend='neighbors' builds a sparse neighbour graph and "
+            f"cannot materialise the full (n, n) {consumer}; use an exact "
+            f"distance backend ({', '.join(EXACT_DISTANCE_BACKENDS)}) for "
+            f"consumers that need every pairwise entry"
+        )
+
+    def pairwise(self, X: np.ndarray, metric: str = "euclidean") -> np.ndarray:
+        raise self._full_matrix_error("pairwise-distance matrix")
+
+    def derived_matrix(self, n_samples: int, tag: str) -> np.ndarray:
+        raise self._full_matrix_error(f"derived matrix ({tag})")
+
+
 _BACKENDS: dict[str, DistanceBackend] = {
     "dense": DenseBackend(),
     "blockwise": BlockwiseBackend(),
     "memmap": MemmapBackend(),
+    "neighbors": NeighborsBackend(),
 }
 
 

@@ -60,13 +60,20 @@ class ExecutionSpec:
     ``REPRO_DISTANCE_BACKEND`` environment fallback — so a default
     ``ExecutionSpec()`` is always a no-op override.
 
-    All execution engines are bit-identical for a fixed seed, so two runs
-    differing only in their ``ExecutionSpec`` share every cached artifact.
+    All *exact* execution engines are bit-identical for a fixed seed, so
+    two runs differing only in their ``ExecutionSpec`` share every cached
+    artifact.  The one exception is ``distance_backend="neighbors"``: it is
+    approximate-by-contract, and its ``epsilon``/``k_neighbors`` knobs
+    (``None`` = consult ``REPRO_NEIGHBOR_EPSILON``/``REPRO_NEIGHBOR_K``)
+    become part of the trial fingerprint so approximate results never
+    shadow exact ones.
     """
 
     backend: str | None = None
     n_jobs: int | None = None
     distance_backend: str | None = None
+    epsilon: float | None = None
+    k_neighbors: int | None = None
 
     def __post_init__(self) -> None:
         problems = []
@@ -87,6 +94,34 @@ class ExecutionSpec:
                     "execution.distance_backend: must be one of "
                     f"{', '.join(DISTANCE_BACKENDS)}; got {self.distance_backend!r}"
                 )
+        if self.epsilon is not None:
+            if isinstance(self.epsilon, bool) or not isinstance(self.epsilon, (int, float)):
+                problems.append(
+                    f"execution.epsilon: must be a number, got {self.epsilon!r}"
+                )
+            elif not self.epsilon > 0:  # rejects NaN too
+                problems.append(
+                    f"execution.epsilon: must be positive, got {self.epsilon!r}"
+                )
+        if self.k_neighbors is not None:
+            if isinstance(self.k_neighbors, bool) or not isinstance(self.k_neighbors, int):
+                problems.append(
+                    f"execution.k_neighbors: must be an integer, got {self.k_neighbors!r}"
+                )
+            elif self.k_neighbors < 1:
+                problems.append(
+                    f"execution.k_neighbors: must be >= 1, got {self.k_neighbors!r}"
+                )
+        if (
+            self.distance_backend is not None
+            and self.distance_backend != "neighbors"
+            and (self.epsilon is not None or self.k_neighbors is not None)
+        ):
+            problems.append(
+                "execution.epsilon/k_neighbors: only meaningful with "
+                f"distance_backend = \"neighbors\", but distance_backend is "
+                f"{self.distance_backend!r}"
+            )
         if problems:
             raise SpecError("execution", problems)
 
@@ -99,6 +134,10 @@ class ExecutionSpec:
             spec["n_jobs"] = self.n_jobs
         if self.distance_backend is not None:
             spec["distance_backend"] = self.distance_backend
+        if self.epsilon is not None:
+            spec["epsilon"] = self.epsilon
+        if self.k_neighbors is not None:
+            spec["k_neighbors"] = self.k_neighbors
         return spec
 
     @classmethod
@@ -108,7 +147,7 @@ class ExecutionSpec:
         Collects every problem before raising :class:`SpecError`.
         """
         spec = check_spec_mapping(spec, "execution")
-        known = ("backend", "n_jobs", "distance_backend")
+        known = ("backend", "n_jobs", "distance_backend", "epsilon", "k_neighbors")
         problems = unknown_key_problems(spec, known, "execution")
         kwargs = {key: spec[key] for key in known if key in spec}
         built = None

@@ -74,11 +74,19 @@ class ExperimentConfig:
     n_jobs:
         Worker count for the parallel backends (``None`` = all cores).
     distance_backend:
-        Distance-matrix storage tier (``"dense"``, ``"blockwise"`` or
-        ``"memmap"``; see :mod:`repro.core.distance_backend`).  ``None``
-        defers to ``REPRO_DISTANCE_BACKEND``/the dense default.  Tiers are
-        bit-identical, so this field is deliberately *not* part of the
-        trial artifact fingerprint — stores are shared across tiers.
+        Distance-matrix storage tier (``"dense"``, ``"blockwise"``,
+        ``"memmap"`` or ``"neighbors"``; see
+        :mod:`repro.core.distance_backend`).  ``None`` defers to
+        ``REPRO_DISTANCE_BACKEND``/the dense default.  The exact tiers are
+        bit-identical, so they are deliberately *not* part of the trial
+        artifact fingerprint — stores are shared across them.  The
+        ``neighbors`` tier is approximate and *is* fingerprinted (together
+        with ``epsilon``/``k_neighbors``), so its trials never shadow
+        exact ones.
+    epsilon / k_neighbors:
+        Neighbour-graph radius and out-degree for the ``neighbors`` tier
+        (``None`` defers to ``REPRO_NEIGHBOR_EPSILON`` /
+        ``REPRO_NEIGHBOR_K``); ignored by the exact tiers.
     """
 
     n_trials: int = 50
@@ -95,6 +103,8 @@ class ExperimentConfig:
     backend: str = "serial"
     n_jobs: int | None = None
     distance_backend: str | None = None
+    epsilon: float | None = None
+    k_neighbors: int | None = None
 
     def with_overrides(self, **overrides) -> "ExperimentConfig":
         """Return a copy with the given fields replaced."""
@@ -105,9 +115,14 @@ class ExperimentConfig:
         backend: str | None = None,
         n_jobs: int | None = None,
         distance_backend: str | None = None,
+        epsilon: float | None = None,
+        k_neighbors: int | None = None,
     ) -> "ExperimentConfig":
         """Copy with the execution engine overridden where arguments are given."""
-        if backend is None and n_jobs is None and distance_backend is None:
+        if (
+            backend is None and n_jobs is None and distance_backend is None
+            and epsilon is None and k_neighbors is None
+        ):
             return self
         return replace(
             self,
@@ -116,12 +131,16 @@ class ExperimentConfig:
             distance_backend=(
                 distance_backend if distance_backend is not None else self.distance_backend
             ),
+            epsilon=epsilon if epsilon is not None else self.epsilon,
+            k_neighbors=k_neighbors if k_neighbors is not None else self.k_neighbors,
         )
 
     def execution_spec(self) -> ExecutionSpec:
         """The execution engine fields as one validated ``ExecutionSpec``."""
         return ExecutionSpec(
-            backend=self.backend, n_jobs=self.n_jobs, distance_backend=self.distance_backend
+            backend=self.backend, n_jobs=self.n_jobs,
+            distance_backend=self.distance_backend,
+            epsilon=self.epsilon, k_neighbors=self.k_neighbors,
         )
 
 

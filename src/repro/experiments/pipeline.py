@@ -447,10 +447,12 @@ def validate_pipeline_mapping(raw: dict, source: str) -> tuple[PipelineSpec | No
         # because the table also carries the pipeline-level parallelize key.
         problems.extend(
             unknown_key_problems(
-                execution, ("backend", "n_jobs", "parallelize", "distance_backend"), "execution"
+                execution,
+                ("backend", "n_jobs", "parallelize", "distance_backend", "epsilon", "k_neighbors"),
+                "execution",
             )
         )
-        engine_keys = ("backend", "n_jobs", "distance_backend")
+        engine_keys = ("backend", "n_jobs", "distance_backend", "epsilon", "k_neighbors")
         try:
             execution_spec = ExecutionSpec.from_spec(
                 {key: execution[key] for key in engine_keys if key in execution}
@@ -467,6 +469,25 @@ def validate_pipeline_mapping(raw: dict, source: str) -> tuple[PipelineSpec | No
                     f"execution.parallelize: has no effect for kind={kind!r} "
                     "(single-trial work); remove the key"
                 )
+
+    # The sparse neighbors tier cannot materialise the full distance matrix,
+    # which MPCKMeans' metric-learning updates require — reject the
+    # combination here (a clear problem line) instead of letting the run
+    # traceback deep inside the trial loop.
+    if execution_spec.distance_backend == "neighbors":
+        if algorithm == "mpck":
+            problems.append(
+                'execution.distance_backend: "neighbors" cannot drive '
+                'algorithm = "mpck" (MPCKMeans needs the full distance matrix); '
+                "use an exact tier (dense, blockwise, memmap)"
+            )
+        if kind == "robustness":
+            problems.append(
+                'execution.distance_backend: "neighbors" cannot drive '
+                'kind = "robustness" (the robustness sweep runs every '
+                "algorithm, including MPCKMeans, which needs the full "
+                "distance matrix); use an exact tier (dense, blockwise, memmap)"
+            )
 
     artifacts = raw.get("artifacts", {})
     artifacts_root = ".repro-artifacts"
@@ -533,6 +554,8 @@ def validate_pipeline_mapping(raw: dict, source: str) -> tuple[PipelineSpec | No
         backend=execution_spec.backend or "serial",
         n_jobs=execution_spec.n_jobs,
         distance_backend=execution_spec.distance_backend,
+        epsilon=execution_spec.epsilon,
+        k_neighbors=execution_spec.k_neighbors,
     )
 
     spec = PipelineSpec(
@@ -806,21 +829,29 @@ def run_pipeline(
     backend: str | None = None,
     n_jobs: int | None = None,
     distance_backend: str | None = None,
+    epsilon: float | None = None,
+    k_neighbors: int | None = None,
     write_reports: bool = True,
 ) -> PipelineResult:
     """Execute a pipeline spec through the artifact store.
 
     ``backend``/``n_jobs``/``distance_backend`` override the spec's
     execution engine and distance-matrix storage tier (results are
-    bit-identical across execution backends *and* distance tiers, so
-    overriding never invalidates cached artifacts).  With
+    bit-identical across execution backends and across the *exact*
+    distance tiers, so overriding those never invalidates cached
+    artifacts; the approximate ``neighbors`` tier — tuned with
+    ``epsilon``/``k_neighbors`` — keys its own artifacts).  With
     ``write_reports`` the rendered report and the deterministic
     ``summary.json`` are persisted under ``<artifacts root>/reports/<name>/``.
     """
-    if backend is not None or n_jobs is not None or distance_backend is not None:
+    if (
+        backend is not None or n_jobs is not None or distance_backend is not None
+        or epsilon is not None or k_neighbors is not None
+    ):
         spec = spec.with_overrides(
             config=spec.config.with_execution(
-                backend=backend, n_jobs=n_jobs, distance_backend=distance_backend
+                backend=backend, n_jobs=n_jobs, distance_backend=distance_backend,
+                epsilon=epsilon, k_neighbors=k_neighbors,
             )
         )
     if store is None:

@@ -30,6 +30,7 @@ from repro.constraints.constraint import ConstraintSet
 from repro.constraints.generation import constraints_from_labels
 from repro.constraints.oracles import ConstraintOracle, PerfectOracle
 from repro.core.cvcp import CVCP
+from repro.core.distance_backend import resolve_distance_backend
 from repro.core.executor import get_executor
 from repro.core.model_selection import expected_quality
 from repro.datasets.base import Dataset
@@ -171,9 +172,17 @@ def algorithm_factory(
     seed = int(check_random_state(random_state).integers(0, 2**31 - 1))
     if algorithm == "fosc":
         return FOSCOpticsDend(
-            min_pts=5, random_state=seed, distance_backend=config.distance_backend
+            min_pts=5, random_state=seed, distance_backend=config.distance_backend,
+            epsilon=config.epsilon, k_neighbors=config.k_neighbors,
         )
     if algorithm == "mpck":
+        if resolve_distance_backend(config.distance_backend) == "neighbors":
+            raise ValueError(
+                "distance_backend='neighbors' cannot drive MPCKMeans: the "
+                "metric-learning updates need every pairwise entry, not a "
+                "sparse neighbour graph; use an exact distance backend "
+                "(dense, blockwise, memmap) for algorithm='mpck'"
+            )
         return MPCKMeans(
             n_clusters=3,
             n_init=config.mpck_n_init,
@@ -209,9 +218,15 @@ def trial_artifact_key(
     source answered the queries, with all its parameters), and the trial
     seed from which every ``(value_index, fold)`` grid cell inside the
     trial derives.
+
+    The exact distance tiers (dense/blockwise/memmap) are bit-identical and
+    deliberately share keys.  The ``neighbors`` tier is approximate, so its
+    trials carry an extra ``approx`` entry — the tier name and the resolved
+    ``epsilon``/``k_neighbors`` — and can never shadow (or be shadowed by)
+    an exact-tier entry.
     """
     oracle = oracle if oracle is not None else PerfectOracle()
-    return {
+    key = {
         "config": trial_config_fingerprint(config),
         "dataset": dataset_fingerprint(dataset),
         "algorithm": str(algorithm),
@@ -220,6 +235,17 @@ def trial_artifact_key(
         "oracle": oracle.spec(),
         "trial_seed": int(trial_seed),
     }
+    if resolve_distance_backend(config.distance_backend) == "neighbors":
+        from repro.core.neighbor_graph import resolve_neighbor_epsilon, resolve_neighbor_k
+
+        epsilon = resolve_neighbor_epsilon(config.epsilon)
+        key["approx"] = {
+            "distance_backend": "neighbors",
+            # JSON has no inf literal; serialise it as the string "inf".
+            "epsilon": "inf" if np.isinf(epsilon) else float(epsilon),
+            "k_neighbors": resolve_neighbor_k(config.k_neighbors),
+        }
+    return key
 
 
 def _load_cached_trial(
@@ -352,8 +378,14 @@ def run_trial(
         external_scores.append(
             overall_f_measure(dataset.y, model.labels_, exclude=exclude)
         )
+        # The Silhouette baseline needs the full matrix; under the sparse
+        # neighbors tier it falls back to the blockwise exact tier (same
+        # values bit-for-bit, streamed row blocks).
+        silhouette_backend = config.distance_backend
+        if resolve_distance_backend(silhouette_backend) == "neighbors":
+            silhouette_backend = "blockwise"
         silhouettes.append(
-            silhouette_score(dataset.X, model.labels_, distance_backend=config.distance_backend)
+            silhouette_score(dataset.X, model.labels_, distance_backend=silhouette_backend)
         )
         if cell_store is not None:
             payload = {"external": external_scores[-1], "silhouette": silhouettes[-1]}

@@ -199,8 +199,16 @@ def distance_cache_stats() -> CacheStats:
 
 
 def clear_distance_cache() -> None:
-    """Drop all memoised distance matrices (mainly for tests and benchmarks)."""
+    """Drop all memoised distance matrices (mainly for tests and benchmarks).
+
+    Also drops the neighbour-graph memo of the ``neighbors`` tier, so one
+    call resets every per-process distance-derived cache.
+    """
     _distance_cache.clear()
+    # Imported lazily: core.neighbor_graph imports this module at top level.
+    from repro.core.neighbor_graph import clear_neighbor_graph_cache
+
+    clear_neighbor_graph_cache()
 
 
 def configure_distance_cache(max_items: int, max_bytes: int | None = None) -> None:

@@ -1,6 +1,6 @@
-"""Tests for the tiered distance backends (dense / blockwise / memmap).
+"""Tests for the tiered distance backends (dense / blockwise / memmap / neighbors).
 
-Covers the bit-identity contract across tiers and executors, the memmap
+Covers the bit-identity contract across the exact tiers and executors, the memmap
 spill lifecycle (atomic writes, exception cleanup, reuse, kill-resume,
 process-backend sharing), and the cache-stats parity across backends.
 """
@@ -28,6 +28,7 @@ from repro.core.distance_backend import (
     DEFAULT_DISTANCE_BACKEND,
     DISTANCE_BACKEND_ENV_VAR,
     DISTANCE_BACKENDS,
+    EXACT_DISTANCE_BACKENDS,
     SPILL_DIR_ENV_VAR,
     BlockwiseBackend,
     DenseBackend,
@@ -104,7 +105,7 @@ class TestMatrixBitIdentity:
     def test_all_tiers_bitwise_identical_across_panels(self, spill_dir, big_blobs, metric):
         matrices = {
             name: np.asarray(get_distance_backend(name).pairwise(big_blobs.X, metric=metric))
-            for name in DISTANCE_BACKENDS
+            for name in EXACT_DISTANCE_BACKENDS
         }
         assert np.array_equal(matrices["dense"], matrices["blockwise"])
         assert np.array_equal(matrices["blockwise"], matrices["memmap"])
@@ -134,21 +135,21 @@ class TestMatrixBitIdentity:
 class TestClusteringParity:
     def test_fosc_and_optics_labels_bitwise_identical(self, spill_dir, big_blobs):
         fosc_labels, optics_out = {}, {}
-        for name in DISTANCE_BACKENDS:
+        for name in EXACT_DISTANCE_BACKENDS:
             clear_distance_cache()
             fosc_labels[name] = FOSCOpticsDend(min_pts=5, distance_backend=name).fit(
                 big_blobs.X
             ).labels_
             fitted = OPTICS(min_pts=5, distance_backend=name).fit(big_blobs.X)
             optics_out[name] = (fitted.ordering_, fitted.reachability_, fitted.core_distances_)
-        for name in DISTANCE_BACKENDS[1:]:
+        for name in EXACT_DISTANCE_BACKENDS[1:]:
             assert np.array_equal(fosc_labels["dense"], fosc_labels[name])
             for reference, observed in zip(optics_out["dense"], optics_out[name]):
                 assert np.array_equal(reference, observed)
 
     def test_density_hierarchy_artifacts_bitwise_identical(self, spill_dir, big_blobs):
         reference = None
-        for name in DISTANCE_BACKENDS:
+        for name in EXACT_DISTANCE_BACKENDS:
             clear_distance_cache()
             fitted = DensityHierarchy(5, distance_backend=name).fit(big_blobs.X)
             observed = (
@@ -169,7 +170,7 @@ class TestClusteringParity:
     ):
         reference = None
         labeled = {0: 0, 5: 0, 21: 1, 26: 1, 41: 2, 46: 2, 10: 0, 30: 1}
-        for name in DISTANCE_BACKENDS:
+        for name in EXACT_DISTANCE_BACKENDS:
             clear_distance_cache()
             search = CVCP(
                 FOSCOpticsDend(min_pts=5),
@@ -402,7 +403,7 @@ class TestMemmapSpillLifecycle:
 class TestCacheIntegration:
     def test_hit_miss_stats_identical_across_backends(self, spill_dir, big_blobs):
         observed = {}
-        for name in DISTANCE_BACKENDS:
+        for name in EXACT_DISTANCE_BACKENDS:
             clear_distance_cache()
             FOSCOpticsDend(min_pts=5, distance_backend=name).fit(big_blobs.X)
             FOSCOpticsDend(min_pts=8, distance_backend=name).fit(big_blobs.X)

@@ -89,6 +89,7 @@ class TestMkdocstringsDirectives:
             "repro.constraints.oracles",
             "repro.core.cvcp",
             "repro.core.distance_backend",
+            "repro.core.neighbor_graph",
             "repro.core.executor",
             "repro.clustering.kernels",
             "repro.experiments.robustness",
@@ -244,8 +245,45 @@ class TestSchemaDocsInSync:
         architecture_page = (DOCS_DIR / "architecture.md").read_text(encoding="utf-8")
         assert "repro.core.distance_backend" in architecture_page
         assert "Distances" in architecture_page  # the component diagram row
-        for tier in ("dense", "blockwise", "memmap"):
+        for tier in ("dense", "blockwise", "memmap", "neighbors"):
             assert tier in architecture_page
+        assert "repro.core.neighbor_graph" in architecture_page
+
+    def test_performance_page_documents_the_neighbors_tier(self):
+        from repro.core.neighbor_graph import (
+            NEIGHBOR_EPSILON_ENV_VAR,
+            NEIGHBOR_K_ENV_VAR,
+        )
+
+        performance_page = (DOCS_DIR / "performance.md").read_text(encoding="utf-8")
+        # The approximate tier, its knobs, and the scale-record reading guide.
+        assert "`neighbors`" in performance_page
+        assert NEIGHBOR_EPSILON_ENV_VAR in performance_page
+        assert NEIGHBOR_K_ENV_VAR in performance_page
+        assert "`epsilon`" in performance_page
+        assert "`k_neighbors`" in performance_page
+        assert "ari_vs_exact" in performance_page
+        assert "approximate-by-contract" in performance_page
+        assert "repro.core.neighbor_graph" in performance_page
+
+    def test_determinism_page_documents_the_approximate_contract(self):
+        determinism_page = (DOCS_DIR / "determinism.md").read_text(encoding="utf-8")
+        assert "neighbors" in determinism_page
+        assert "entry-for-entry" in determinism_page
+        assert "ari_vs_exact" in determinism_page
+        # The fingerprinting exception: neighbors keys its own artifacts.
+        assert "approx" in determinism_page
+        assert "epsilon" in determinism_page and "k_neighbors" in determinism_page
+
+    def test_neighbor_tier_flags_are_documented(self):
+        cli_page = (DOCS_DIR / "cli.md").read_text(encoding="utf-8")
+        assert "--epsilon" in cli_page
+        assert "--k-neighbors" in cli_page
+        assert "neighbors" in cli_page
+        config_page = (DOCS_DIR / "config.md").read_text(encoding="utf-8")
+        assert "`epsilon`" in config_page
+        assert "`k_neighbors`" in config_page
+        assert '"neighbors"' in config_page
 
     def test_example_configs_referenced_from_docs_exist(self):
         text = "\n".join(page.read_text(encoding="utf-8") for page in _docs_pages())
