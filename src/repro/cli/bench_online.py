@@ -1,0 +1,383 @@
+"""Cold-vs-incremental benchmark + regression gate for online replays.
+
+``repro bench online`` measures what the incremental CVCP machinery
+(:mod:`repro.experiments.online`) actually buys on the quickstart grid
+(Iris, ``minpts_range = [3, 6, 9]``, 3 folds): it replays one constraint
+stream and, for every delta, times
+
+* **cold** — what refreshing the online report without the subsystem
+  costs: every process-wide cache cleared, an *empty* artifact store,
+  and the whole accumulated replay (all prefixes up to and including
+  the new delta) re-run from scratch, structure phase included;
+* **incremental** — only the new delta, the regime ``kind = "online"``
+  actually runs in: the process-local structure memo is warm, earlier
+  steps live in their ``"online"`` artifacts, so the delta is an
+  extraction-phase CVCP pass over the carried-forward store.
+
+Both paths run the very same store-backed step machinery (per-cell
+persistence and compaction included), so the ratio isolates what the
+cached structures and completed steps save — not a bookkeeping
+difference between the two sides.
+
+Before any timing counts, both paths are asserted bit-identical on the
+new delta (selected value, per-cell fold scores, refit labels) — a
+speedup from a wrong answer is not a speedup.  The gates cover the
+steady state *after the first delta* (the first delta is where the
+structures are built and persisted; every later delta is the
+incremental regime the paper's practitioner lives in):
+
+* ``speedup`` — summed steady-state cold wall-clock over summed
+  steady-state incremental wall-clock, floored at 5x (the per-delta
+  ratio keeps growing with the stream, so the floor is conservative);
+* ``structure_hit_rate`` — store hits over structure requests, floored
+  at 0.95 (an incremental delta should never rebuild a structure).
+
+The fresh record is gated against the committed ``BENCH_online.json``
+baseline by :func:`compare_records`: equivalence and the floors are hard
+requirements (the floors travel inside the baseline), and the absolute
+incremental wall-clock gets a generous ``--max-slowdown`` budget because
+CI runners share cores.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import tempfile
+import time
+from pathlib import Path
+
+from repro.utils.specs import SpecError, check_spec_mapping
+
+__all__ = [
+    "AMOUNT",
+    "BASELINE_SECTION",
+    "DEFAULT_FLOORS",
+    "N_DELTAS",
+    "compare_records",
+    "format_online_table",
+    "from_spec",
+    "load_json",
+    "normalize_record",
+    "run_bench_online",
+    "to_spec",
+]
+
+#: Section of the committed baseline JSON holding the online record.
+BASELINE_SECTION = "bench_online"
+
+#: Constraint-stream deltas replayed by default.  Eight steps give the
+#: steady-state aggregate enough late-stream deltas (where the cold
+#: replay cost has grown linearly) to clear the speedup floor with
+#: margin on a shared CI core.
+N_DELTAS = 8
+
+#: Amount of side information (the quickstart grid's single amount).
+AMOUNT = 0.10
+
+#: Machine-independent floors; committed inside the baseline record so a
+#: baseline refresh can tighten them without touching code.  Both gates
+#: cover the steady state after the first delta.
+DEFAULT_FLOORS = {"speedup": 5.0, "structure_hit_rate": 0.95}
+
+
+def _bench_config():
+    """The quickstart CVCP grid (Iris, three MinPts values, three folds)."""
+    from repro.experiments.config import ExperimentConfig
+
+    return ExperimentConfig(
+        n_trials=1,
+        n_folds=3,
+        minpts_range=(3, 6, 9),
+        datasets=("Iris",),
+        seed=20140324,
+    )
+
+
+def run_bench_online(*, deltas: int = N_DELTAS, amount: float = AMOUNT) -> dict:
+    """Run the cold-vs-incremental replay benchmark and return a record.
+
+    The incremental path uses a throwaway artifact store that persists
+    across the stream's deltas (that *is* the mechanism under test); the
+    cold path gets a fresh, empty store per delta and a cleared
+    process-wide memo, so neither side smuggles warm state past the
+    clock and both pay the identical per-step persistence bill.
+    """
+    from repro.constraints.constraint import ConstraintSet
+    from repro.core.cvcp import CVCP
+    from repro.datasets.registry import get_dataset
+    from repro.experiments.artifacts import ArtifactStore
+    from repro.experiments.online import (
+        StreamSpec,
+        _compact_step_cells,
+        ordered_stream,
+        stream_prefix_sizes,
+        stream_step_key,
+    )
+    from repro.experiments.runner import (
+        algorithm_factory,
+        make_side_information,
+        parameter_values_for,
+    )
+    from repro.utils.cache import clear_distance_cache
+    from repro.utils.rng import check_random_state, spawn_seeds
+
+    if deltas < 2:
+        raise ValueError(
+            f"--deltas must be at least 2 (the gates cover the steady state "
+            f"after the first delta), got {deltas}"
+        )
+    config = _bench_config()
+    stream = StreamSpec(n_deltas=deltas, order="sorted")
+    dataset = get_dataset("Iris", random_state=config.seed)
+
+    # Mirror replay_constraint_stream's rng discipline exactly so the
+    # bench exercises the very seeds a real `kind = "online"` run uses.
+    rng = check_random_state(config.seed)
+    side = make_side_information(dataset, "constraints", amount, random_state=rng)
+    arrivals = ordered_stream(side.constraints, stream.order, rng)
+    estimator = algorithm_factory("fosc", config, random_state=rng)
+    values = parameter_values_for("fosc", dataset, config)
+    step_seeds = spawn_seeds(rng, stream.n_deltas)
+    counts = stream_prefix_sizes(len(arrivals), stream.n_deltas)
+
+    def run_step(store: "ArtifactStore", index: int) -> "CVCP":
+        """One store-backed replay step, exactly as ``kind = "online"`` runs it."""
+        key = stream_step_key(config, dataset, amount, stream, index, step_seeds[index])
+        search = CVCP(
+            estimator,
+            values,
+            n_folds=config.n_folds,
+            refit=True,
+            random_state=step_seeds[index],
+            execution=config.execution_spec(),
+            artifact_store=store,
+            artifact_scope=key,
+        )
+        search.fit(dataset.X, constraints=ConstraintSet(arrivals[: counts[index]]))
+        _compact_step_cells(store, key, len(values), config.n_folds)
+        return search
+
+    def selection_of(search: "CVCP") -> tuple[int, list[list[float]], list[int]]:
+        return (
+            int(search.cv_results_.best_value),
+            [
+                [float(score) for score in evaluation.fold_scores]
+                for evaluation in search.cv_results_.evaluations
+            ],
+            [int(label) for label in search.labels_],
+        )
+
+    delta_records: list[dict] = []
+    with tempfile.TemporaryDirectory(prefix="repro-bench-online-") as tmp:
+        store = ArtifactStore(Path(tmp) / "store")
+        clear_distance_cache()
+        for index, count in enumerate(counts):
+            # Incremental: only the new delta, over the warm memo + store
+            # state the previous deltas left behind (the `kind = "online"`
+            # steady state).
+            before = store.stats_for("structure")
+            tick = time.perf_counter()
+            search = run_step(store, index)
+            incremental_s = time.perf_counter() - tick
+            after = store.stats_for("structure")
+            incremental = selection_of(search)
+
+            # Cold: replay the whole accumulated stream from scratch —
+            # cleared memo, empty store, structure phase and every earlier
+            # step included.  The last step doubles as the
+            # delta-equivalence oracle.
+            cold_store = ArtifactStore(Path(tmp) / f"cold-{index}")
+            clear_distance_cache()
+            tick = time.perf_counter()
+            for cold_index in range(index + 1):
+                cold_search = run_step(cold_store, cold_index)
+            cold_s = time.perf_counter() - tick
+            cold = selection_of(cold_search)
+
+            # Guarantee the warm-memo steady state the next delta starts
+            # from (the cold replay above cleared the process-local memo;
+            # its own structure builds normally refill it, but the next
+            # incremental timing must not depend on that side effect).
+            for value in values:
+                estimator.clone(**{estimator.tuned_parameter: value}).warm_structure(
+                    dataset.X, store=None
+                )
+
+            delta_records.append(
+                {
+                    "step": index,
+                    "queries": int(count),
+                    "value": incremental[0],
+                    "cold_s": cold_s,
+                    "incremental_s": incremental_s,
+                    "speedup": cold_s / incremental_s if incremental_s > 0 else 0.0,
+                    "structure_hits": after.hits - before.hits,
+                    "structure_misses": after.misses - before.misses,
+                    "equivalent": incremental == cold,
+                }
+            )
+    clear_distance_cache()
+
+    steady = delta_records[1:]
+    cold_total = sum(record["cold_s"] for record in steady)
+    incremental_total = sum(record["incremental_s"] for record in steady)
+    hits = sum(record["structure_hits"] for record in steady)
+    requests = hits + sum(record["structure_misses"] for record in steady)
+    return {
+        "kind": "repro-bench-online",
+        "machine": {"cpu_count": os.cpu_count(), "python": platform.python_version()},
+        "settings": {
+            "dataset": "Iris",
+            "amount": float(amount),
+            "n_deltas": int(deltas),
+            "order": stream.order,
+            "minpts_range": [int(value) for value in config.minpts_range],
+            "n_folds": int(config.n_folds),
+            "total_constraints": len(arrivals),
+        },
+        "deltas": delta_records,
+        "aggregate": {
+            "cold_s": cold_total,
+            "incremental_s": incremental_total,
+            "speedup": cold_total / incremental_total if incremental_total > 0 else 0.0,
+            "structure_hit_rate": hits / requests if requests else 0.0,
+            "equivalent": all(record["equivalent"] for record in delta_records),
+        },
+        "floors": dict(DEFAULT_FLOORS),
+    }
+
+
+def normalize_record(record: dict) -> dict:
+    """Validate the shape of a fresh online record; returns it unchanged.
+
+    Raises
+    ------
+    ValueError
+        If the record is not a ``repro bench online --json`` product.
+    """
+    if record.get("kind") != "repro-bench-online":
+        raise ValueError(
+            "not an online benchmark record (expected kind 'repro-bench-online', "
+            f"got {record.get('kind')!r})"
+        )
+    deltas = record.get("deltas")
+    if not isinstance(deltas, list) or len(deltas) < 2:
+        raise ValueError("online record needs a deltas list of at least 2 steps")
+    for entry in deltas:
+        if not isinstance(entry, dict) or not {
+            "step",
+            "cold_s",
+            "incremental_s",
+            "equivalent",
+        } <= set(entry):
+            raise ValueError(
+                "every deltas entry needs step/cold_s/incremental_s/equivalent"
+            )
+    aggregate = record.get("aggregate")
+    required = {"cold_s", "incremental_s", "speedup", "structure_hit_rate", "equivalent"}
+    if not isinstance(aggregate, dict) or not required <= set(aggregate):
+        raise ValueError(
+            "online record is missing aggregate." + "/aggregate.".join(sorted(required))
+        )
+    return record
+
+
+def to_spec(record: dict) -> dict:
+    """The benchmark record as a JSON-ready mapping (records already are specs)."""
+    return dict(record)
+
+
+def from_spec(spec: object) -> dict:
+    """Validate a mapping back into an online benchmark record."""
+    checked = check_spec_mapping(spec, "online bench record")
+    try:
+        return normalize_record(dict(checked))
+    except ValueError as exc:
+        raise SpecError("online bench record", [str(exc)]) from exc
+
+
+def compare_records(fresh: dict, baseline: dict, *, max_slowdown: float = 1.0) -> list[str]:
+    """Regression problems of a fresh online record against the baseline.
+
+    Gates, in order of importance: delta-equivalence with the cold runs
+    (the incremental machinery's core contract), the steady-state
+    speedup and structure-hit-rate floors committed in the baseline, and
+    a generous incremental wall-clock budget vs the baseline.
+    """
+    section = baseline.get(BASELINE_SECTION)
+    if not isinstance(section, dict):
+        return [f"baseline is missing the {BASELINE_SECTION!r} section"]
+    floors = section.get("floors", DEFAULT_FLOORS)
+
+    problems: list[str] = []
+    aggregate = fresh.get("aggregate", {})
+    if not aggregate.get("equivalent", False):
+        steps = [
+            record.get("step") for record in fresh.get("deltas", []) if not record.get("equivalent")
+        ]
+        problems.append(
+            f"incremental re-selection diverged from the cold run at deltas {steps} "
+            "(delta-equivalence is the online contract)"
+        )
+    speedup_floor = floors.get("speedup")
+    speedup = aggregate.get("speedup", 0.0)
+    if speedup_floor is not None and speedup < speedup_floor:
+        problems.append(
+            f"steady-state speedup {speedup:.1f}x is below the {speedup_floor:.1f}x floor "
+            "(incremental re-selection no longer beats the cold grid rerun)"
+        )
+    hit_floor = floors.get("structure_hit_rate")
+    hit_rate = aggregate.get("structure_hit_rate", 0.0)
+    if hit_floor is not None and hit_rate < hit_floor:
+        problems.append(
+            f"structure cache-hit rate {hit_rate:.2f} after the first delta is below the "
+            f"{hit_floor:.2f} floor (incremental deltas are rebuilding tree structures)"
+        )
+    base_wall = section.get("aggregate", {}).get("incremental_s")
+    fresh_wall = aggregate.get("incremental_s")
+    if base_wall and fresh_wall:
+        slowdown = fresh_wall / base_wall - 1.0
+        if slowdown > max_slowdown:
+            problems.append(
+                f"incremental wall-clock {fresh_wall:.3f}s is {slowdown:+.0%} vs baseline "
+                f"{base_wall:.3f}s (allowed {max_slowdown:+.0%})"
+            )
+    return problems
+
+
+def load_json(path: str | Path) -> dict:
+    """Load an online benchmark record or baseline from disk."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def format_online_table(fresh: dict, baseline: dict | None = None) -> str:
+    """Fixed-width summary of a fresh record (optionally vs the baseline)."""
+    floors: dict = DEFAULT_FLOORS
+    if baseline is not None:
+        floors = baseline.get(BASELINE_SECTION, {}).get("floors", DEFAULT_FLOORS)
+    lines = [
+        f"{'delta':<8} {'queries':>8} {'cold (s)':>10} {'incr (s)':>10} "
+        f"{'speedup':>8} {'equal':>6}"
+    ]
+    for record in fresh.get("deltas", []):
+        lines.append(
+            f"{record.get('step', 0):<8} {record.get('queries', 0):>8} "
+            f"{record.get('cold_s', 0.0):>10.4f} {record.get('incremental_s', 0.0):>10.4f} "
+            f"{record.get('speedup', 0.0):>7.1f}x "
+            f"{str(bool(record.get('equivalent', False))).lower():>6}"
+        )
+    aggregate = fresh.get("aggregate", {})
+    lines += [
+        "",
+        f"{'metric':<26} {'value':>10} {'floor':>10}",
+        f"{'steady-state speedup':<26} {aggregate.get('speedup', 0.0):>9.1f}x "
+        f"{floors.get('speedup', 0.0):>9.1f}x",
+        f"{'structure-hit rate':<26} {aggregate.get('structure_hit_rate', 0.0):>10.2f} "
+        f"{floors.get('structure_hit_rate', 0.0):>10.2f}",
+        f"{'delta-equivalent':<26} "
+        f"{str(bool(aggregate.get('equivalent', False))).lower():>10} {'true':>10}",
+    ]
+    return "\n".join(lines)

@@ -14,12 +14,14 @@ from repro.cli import bench as bench_module
 from repro.cli import bench_fleet as bench_fleet_module
 from repro.cli import bench_kernels as bench_kernels_module
 from repro.cli import bench_scale as bench_scale_module
+from repro.cli import bench_online as bench_online_module
 from repro.cli import bench_serve as bench_serve_module
 from repro.core.distance_backend import DISTANCE_BACKENDS
 from repro.core.executor import BACKENDS, ExecutionSpec
 from repro.datasets.registry import DATASET_NAMES, get_dataset
 from repro.experiments.artifacts import ArtifactStore
 from repro.experiments.fleet import fleet_status, format_fleet_status, run_worker
+from repro.experiments.online import STREAM_ORDERS, StreamSpec
 from repro.experiments.pipeline import (
     ConfigError,
     load_pipeline_spec,
@@ -522,6 +524,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="allowed fractional p99 latency slowdown vs baseline (default: 1.0)",
     )
 
+    online_bench_parser = bench_subparsers.add_parser(
+        "online",
+        help="benchmark incremental constraint-stream re-selection vs cold replays",
+        description=(
+            "Replay the quickstart constraint stream and, per delta, time the "
+            "incremental re-selection (warm structure memo + carried-forward "
+            "artifact store) against a from-scratch replay of the accumulated "
+            "stream.  Both paths are asserted bit-identical before any timing "
+            "counts.  With --baseline, gates the record against the committed "
+            "BENCH_online.json floors (exit 1 on divergence or a broken floor)."
+        ),
+    )
+    # Same dest-prefix discipline as the sibling sub-benches: all dests are
+    # prefixed (online_*) so the parent ``bench`` parser's shared-flag
+    # defaults cannot clobber them.
+    online_bench_parser.add_argument(
+        "--deltas",
+        dest="online_deltas",
+        type=int,
+        default=bench_online_module.N_DELTAS,
+        help=f"constraint-stream deltas to replay (default: {bench_online_module.N_DELTAS})",
+    )
+    online_bench_parser.add_argument(
+        "--json",
+        dest="online_json",
+        metavar="PATH",
+        default=None,
+        help="write the fresh record to PATH",
+    )
+    online_bench_parser.add_argument(
+        "--compare",
+        dest="online_compare",
+        metavar="FRESH",
+        default=None,
+        help="load a fresh online record instead of running the benchmark",
+    )
+    online_bench_parser.add_argument(
+        "--baseline",
+        dest="online_baseline",
+        metavar="PATH",
+        default=None,
+        help="baseline JSON to gate against (e.g. BENCH_online.json)",
+    )
+    online_bench_parser.add_argument(
+        "--max-slowdown",
+        dest="online_max_slowdown",
+        type=float,
+        default=1.0,
+        help=(
+            "allowed fractional incremental wall-clock slowdown vs baseline "
+            "(default: 1.0)"
+        ),
+    )
+
     datasets_parser = subparsers.add_parser("datasets", help="inspect the data-set registry")
     datasets_subparsers = datasets_parser.add_subparsers(dest="datasets_command", required=True)
     datasets_subparsers.add_parser("list", help="list registered data sets with their shapes")
@@ -573,6 +629,17 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
             "(default: REPRO_NEIGHBOR_K, else 32)"
         ),
     )
+    parser.add_argument(
+        "--stream-deltas",
+        type=int,
+        metavar="N",
+        help='number of constraint-stream deltas (kind = "online" only)',
+    )
+    parser.add_argument(
+        "--stream-order",
+        choices=STREAM_ORDERS,
+        help='constraint arrival order for the replay (kind = "online" only)',
+    )
 
 
 def _command_run(args: argparse.Namespace, *, reports_only: bool = False) -> int:
@@ -586,6 +653,28 @@ def _command_run(args: argparse.Namespace, *, reports_only: bool = False) -> int
         return 2
     if args.artifacts_root:
         spec = spec.with_overrides(artifacts_root=Path(args.artifacts_root))
+    stream_deltas = getattr(args, "stream_deltas", None)
+    stream_order = getattr(args, "stream_order", None)
+    if stream_deltas is not None or stream_order is not None:
+        if spec.kind != "online":
+            print(
+                f'--stream-deltas/--stream-order only apply to kind = "online" '
+                f"specs (kind is {spec.kind!r})",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            # Round-trip through the spec validator so a CLI-supplied
+            # delta count gets the same checks as a [stream] table.
+            stream = StreamSpec.from_spec(
+                spec.stream.with_overrides(
+                    n_deltas=stream_deltas, order=stream_order
+                ).to_spec()
+            )
+        except SpecError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        spec = spec.with_overrides(stream=stream)
     refresh = bool(getattr(args, "force", False))
     store = ArtifactStore(spec.artifacts_root, refresh=refresh)
     quiet = bool(getattr(args, "quiet", False)) or reports_only
@@ -968,9 +1057,60 @@ def _command_bench_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_bench_online(args: argparse.Namespace) -> int:
+    if args.online_compare:
+        if args.online_json:
+            print(
+                "--json records a live benchmark run and cannot be combined with --compare "
+                "(the fresh record already exists on disk)",
+                file=sys.stderr,
+            )
+            return 2
+        record = bench_online_module.load_json(args.online_compare)
+    else:
+        try:
+            record = bench_online_module.run_bench_online(deltas=args.online_deltas)
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        if args.online_json:
+            Path(args.online_json).write_text(
+                json.dumps(record, sort_keys=True, indent=2) + "\n",
+                encoding="utf-8",
+            )
+            print(f"wrote {args.online_json}")
+
+    try:
+        fresh = bench_online_module.normalize_record(record)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    baseline = (
+        bench_online_module.load_json(args.online_baseline) if args.online_baseline else None
+    )
+    print(bench_online_module.format_online_table(fresh, baseline))
+
+    if baseline is not None:
+        problems = bench_online_module.compare_records(
+            fresh, baseline, max_slowdown=args.online_max_slowdown
+        )
+        if problems:
+            print("online benchmark regression detected:", file=sys.stderr)
+            for problem in problems:
+                print(f"  - {problem}", file=sys.stderr)
+            return 1
+        print(
+            "online benchmark within baseline (delta-equivalent, floors met, "
+            f"max incremental slowdown {args.online_max_slowdown:.0%})"
+        )
+    return 0
+
+
 def _command_bench(args: argparse.Namespace) -> int:
     if getattr(args, "bench_target", None) == "serve":
         return _command_bench_serve(args)
+    if getattr(args, "bench_target", None) == "online":
+        return _command_bench_online(args)
     if getattr(args, "bench_target", None) == "kernels":
         return _command_bench_kernels(args)
     if getattr(args, "bench_target", None) == "scale":

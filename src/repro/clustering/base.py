@@ -77,12 +77,19 @@ class BaseClusterer:
     # -- parameter handling -------------------------------------------------
     @classmethod
     def _param_names(cls) -> list[str]:
-        signature = inspect.signature(cls.__init__)
-        return [
-            name
-            for name, parameter in signature.parameters.items()
-            if name != "self" and parameter.kind != parameter.VAR_KEYWORD
-        ]
+        # Memoised per class (signature introspection is pure overhead on
+        # the CVCP grid's hot clone/get_params path); ``cls.__dict__`` so a
+        # subclass never inherits its parent's cached names.
+        cached = cls.__dict__.get("_param_names_cached")
+        if cached is None:
+            signature = inspect.signature(cls.__init__)
+            cached = [
+                name
+                for name, parameter in signature.parameters.items()
+                if name != "self" and parameter.kind != parameter.VAR_KEYWORD
+            ]
+            cls._param_names_cached = cached
+        return cached
 
     def get_params(self) -> dict[str, Any]:
         """Return the constructor parameters of this estimator."""

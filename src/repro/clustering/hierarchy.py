@@ -16,7 +16,13 @@ module provides:
 * :class:`CondensedTree` — the hierarchy simplified with a minimum cluster
   size, exposing per-cluster membership, stability and the parent/child
   structure FOSC's dynamic program runs on;
-* :class:`DensityHierarchy` — a convenience facade tying the steps together.
+* :class:`DensityHierarchy` — a convenience facade tying the steps together;
+* :class:`TreeStructure` / :func:`cached_tree_structure` — the
+  constraint-independent *structure phase* of a FOSC fit (core distances,
+  MST merge records, condensed tree) as a slim memoised record that
+  constraint deltas re-extract from without refitting, optionally backed
+  by ``"structure"`` artifacts in an
+  :class:`~repro.experiments.artifacts.ArtifactStore`.
 """
 
 from __future__ import annotations
@@ -27,7 +33,7 @@ import numpy as np
 
 from repro.clustering import kernels as _kernels
 from repro.clustering.distances import k_nearest_distances
-from repro.utils.cache import cached_pairwise_distances
+from repro.utils.cache import MemoCache, array_fingerprint, cached_pairwise_distances
 from repro.utils.validation import check_array_2d, check_positive_int
 
 
@@ -503,3 +509,371 @@ class DensityHierarchy:
                 self.single_linkage_tree_, X.shape[0], self.min_cluster_size
             )
         return self
+
+
+# ---------------------------------------------------------------------------
+# The cached structure phase: everything in a FOSC fit that does not depend
+# on the constraint set.  A structure is O(n) (MST edges, merge records,
+# core distances, condensed tree) — deliberately *not* the O(n²)
+# mutual-reachability matrix — so a per-process memo plus JSON artifacts in
+# the store make constraint deltas re-extract instead of refit.
+
+
+@dataclass
+class TreeStructure:
+    """The constraint-independent structure of one FOSC-OPTICSDend fit.
+
+    Everything here is a pure deterministic function of ``(X, metric,
+    min_pts, min_cluster_size)`` plus the distance tier — never of the
+    constraint set, the oracle, the fold or any seed — which is what makes
+    one structure shareable across every constraint delta, oracle and
+    fold of a CVCP grid.
+
+    Attributes
+    ----------
+    n_samples:
+        Number of data objects.
+    min_pts:
+        The (effective, i.e. sample-count-clamped) MinPts the structure
+        was built with.
+    min_cluster_size:
+        Resolved minimum cluster size of the condensed tree.
+    metric:
+        Distance metric.
+    core_distances:
+        ``(n,)`` core distance per object.
+    mst_edges:
+        ``(n-1, 3)`` mutual-reachability MST edges sorted by weight.
+    single_linkage_tree:
+        ``(n-1, 4)`` scipy-style merge records.
+    condensed_tree:
+        :class:`CondensedTreeArrays` (vectorized kernels) or
+        :class:`CondensedTree` (reference kernels); bit-identical contents
+        either way.
+    """
+
+    n_samples: int
+    min_pts: int
+    min_cluster_size: int
+    metric: str
+    core_distances: np.ndarray
+    mst_edges: np.ndarray
+    single_linkage_tree: np.ndarray
+    condensed_tree: "CondensedTreeArrays | CondensedTree"
+
+
+def resolve_min_cluster_size(min_pts: int, min_cluster_size: int | None) -> int:
+    """The condensed tree's minimum cluster size, defaulted from MinPts."""
+    if min_cluster_size is None:
+        return max(2, min_pts)
+    return check_positive_int(min_cluster_size, name="min_cluster_size", minimum=2)
+
+
+def build_tree_structure(
+    X: np.ndarray,
+    min_pts: int,
+    *,
+    min_cluster_size: int | None = None,
+    metric: str = "euclidean",
+    kernels: str | None = None,
+    distance_backend: str | None = None,
+    epsilon: float | None = None,
+    k_neighbors: int | None = None,
+) -> TreeStructure:
+    """Build the structure phase of one fit (no memo, no store)."""
+    hierarchy = DensityHierarchy(
+        min_pts,
+        min_cluster_size=min_cluster_size,
+        metric=metric,
+        kernels=kernels,
+        distance_backend=distance_backend,
+        epsilon=epsilon,
+        k_neighbors=k_neighbors,
+    ).fit(X)
+    # Only the O(n) outputs are retained; the hierarchy facade (and its
+    # O(n²) mutual-reachability matrix) is dropped here so memoised
+    # structures never hold whole matrices alive.
+    return TreeStructure(
+        n_samples=int(np.asarray(X).shape[0]),
+        min_pts=int(hierarchy.min_pts),
+        min_cluster_size=int(hierarchy.min_cluster_size),
+        metric=metric,
+        core_distances=np.asarray(hierarchy.core_distances_, dtype=np.float64),
+        mst_edges=np.asarray(hierarchy.mst_edges_, dtype=np.float64),
+        single_linkage_tree=np.asarray(hierarchy.single_linkage_tree_, dtype=np.float64),
+        condensed_tree=hierarchy.condensed_tree_,
+    )
+
+
+def _encode_floats(array: np.ndarray) -> list:
+    """JSON-ready float list; non-finite values spelled as strings.
+
+    Python's JSON float encoding is shortest-roundtrip, so finite values
+    survive exactly; JSON has no ``inf``/``nan`` literals, so those are
+    spelled ``"inf"``/``"-inf"``/``"nan"``.
+    """
+    flat = np.asarray(array, dtype=np.float64)
+    if np.isfinite(flat).all():
+        return flat.tolist()
+
+    def encode_value(value: float):
+        if np.isfinite(value):
+            return float(value)
+        if np.isnan(value):
+            return "nan"
+        return "inf" if value > 0 else "-inf"
+    if flat.ndim == 1:
+        return [encode_value(value) for value in flat.tolist()]
+    return [[encode_value(value) for value in row] for row in flat.tolist()]
+
+
+def _decode_floats(values: list) -> np.ndarray:
+    """Inverse of :func:`_encode_floats`."""
+    def decode_value(value):
+        if isinstance(value, str):
+            return float(value)
+        return float(value)
+    if values and isinstance(values[0], list):
+        return np.array([[decode_value(v) for v in row] for row in values], dtype=np.float64)
+    return np.array([decode_value(v) for v in values], dtype=np.float64)
+
+
+def structure_payload(structure: TreeStructure) -> dict:
+    """JSON-serialisable form of a structure (exact float round-trip).
+
+    The payload is kernel-mode neutral: the condensed tree is always
+    emitted as the flat :class:`~repro.clustering.kernels.CondensedArrayData`
+    arrays (both kernel modes build bit-identical trees), and
+    :func:`structure_from_payload` rebuilds whichever flavour the decoding
+    process's kernel mode wants.
+    """
+    tree = structure.condensed_tree
+    if isinstance(tree, CondensedTreeArrays):
+        data = tree.arrays
+    else:
+        # Reference-mode structures re-derive the flat arrays once at
+        # persist time; contents are bit-identical to the reference tree.
+        data = _kernels.condense_tree(
+            structure.single_linkage_tree, structure.n_samples, structure.min_cluster_size
+        )
+    return {
+        "n_samples": structure.n_samples,
+        "min_pts": structure.min_pts,
+        "min_cluster_size": structure.min_cluster_size,
+        "metric": structure.metric,
+        "core_distances": _encode_floats(structure.core_distances),
+        "mst_edges": _encode_floats(structure.mst_edges),
+        "single_linkage_tree": _encode_floats(structure.single_linkage_tree),
+        "condensed": {
+            "parent": data.parent.tolist(),
+            "birth_lambda": _encode_floats(data.birth_lambda),
+            "split_lambda": _encode_floats(data.split_lambda),
+            "children": [list(child) for child in data.children],
+            "sizes": data.sizes.tolist(),
+            "point_cluster": data.point_cluster.tolist(),
+            "point_lambda": _encode_floats(data.point_lambda),
+            "event_cluster": data.event_cluster.tolist(),
+            "event_lambda": _encode_floats(data.event_lambda),
+            "enter": data.enter.tolist(),
+            "exit": data.exit.tolist(),
+        },
+    }
+
+
+def structure_from_payload(payload: dict, *, kernels: str | None = None) -> TreeStructure:
+    """Rebuild a :class:`TreeStructure` from :func:`structure_payload` output.
+
+    ``kernels`` selects the condensed-tree flavour of the rebuilt
+    structure (``None`` consults ``REPRO_KERNELS``): vectorized mode
+    restores the persisted flat arrays directly; reference mode replays
+    the reference build from the merge records — bit-identical either way.
+    """
+    mode = _kernels.resolve_kernel_mode(kernels)
+    n_samples = int(payload["n_samples"])
+    min_cluster_size = int(payload["min_cluster_size"])
+    single_linkage_tree = _decode_floats(payload["single_linkage_tree"]).reshape(-1, 4)
+    if mode == "vectorized":
+        condensed = payload["condensed"]
+        data = _kernels.CondensedArrayData(
+            n_samples=n_samples,
+            min_cluster_size=min_cluster_size,
+            parent=np.asarray(condensed["parent"], dtype=np.int64),
+            birth_lambda=_decode_floats(condensed["birth_lambda"]),
+            split_lambda=_decode_floats(condensed["split_lambda"]),
+            children=[list(child) for child in condensed["children"]],
+            sizes=np.asarray(condensed["sizes"], dtype=np.int64),
+            point_cluster=np.asarray(condensed["point_cluster"], dtype=np.int64),
+            point_lambda=_decode_floats(condensed["point_lambda"]),
+            event_cluster=np.asarray(condensed["event_cluster"], dtype=np.int64),
+            event_lambda=_decode_floats(condensed["event_lambda"]),
+            enter=np.asarray(condensed["enter"], dtype=np.int64),
+            exit=np.asarray(condensed["exit"], dtype=np.int64),
+        )
+        tree: CondensedTreeArrays | CondensedTree = CondensedTreeArrays(data)
+    else:
+        tree = CondensedTree(single_linkage_tree, n_samples, min_cluster_size)
+    return TreeStructure(
+        n_samples=n_samples,
+        min_pts=int(payload["min_pts"]),
+        min_cluster_size=min_cluster_size,
+        metric=str(payload["metric"]),
+        core_distances=_decode_floats(payload["core_distances"]),
+        mst_edges=_decode_floats(payload["mst_edges"]).reshape(-1, 3),
+        single_linkage_tree=single_linkage_tree,
+        condensed_tree=tree,
+    )
+
+
+def structure_store_key(
+    X: np.ndarray,
+    min_pts: int,
+    *,
+    min_cluster_size: int | None = None,
+    metric: str = "euclidean",
+    distance_backend: str | None = None,
+    epsilon: float | None = None,
+    k_neighbors: int | None = None,
+) -> dict:
+    """Artifact-store key of one structure (kind ``"structure"``).
+
+    The key pins exactly what the structure depends on — the data content,
+    the metric, the (effective) MinPts and the minimum cluster size — and
+    deliberately *excludes* the oracle, the constraint set, the fold, every
+    seed and the kernel mode, so structures are shared across all of them.
+    The exact distance tiers (dense/blockwise/memmap) are bit-identical and
+    share keys; the approximate ``neighbors`` tier carries an ``approx``
+    entry (mirroring :func:`repro.experiments.runner.trial_artifact_key`)
+    and can never shadow (or be shadowed by) an exact-tier structure.
+    """
+    from repro.core.distance_backend import get_distance_backend
+
+    key = {
+        "x": array_fingerprint(np.asarray(X)),
+        "metric": str(metric),
+        "min_pts": int(min_pts),
+        "min_cluster_size": int(resolve_min_cluster_size(min_pts, min_cluster_size)),
+    }
+    if get_distance_backend(distance_backend).name == "neighbors":
+        from repro.core.neighbor_graph import resolve_neighbor_epsilon, resolve_neighbor_k
+
+        resolved_epsilon = resolve_neighbor_epsilon(epsilon)
+        key["approx"] = {
+            "distance_backend": "neighbors",
+            # JSON has no inf literal; serialise it as the string "inf".
+            "epsilon": "inf" if np.isinf(resolved_epsilon) else float(resolved_epsilon),
+            "k_neighbors": resolve_neighbor_k(k_neighbors),
+        }
+    return key
+
+
+#: Per-process memo of tree structures.  Structures are O(n) each, so the
+#: bound is generous enough to hold a whole MinPts sweep per data set.
+_structure_cache = MemoCache(max_items=64)
+
+
+def _structure_memo_key(
+    X: np.ndarray,
+    min_pts: int,
+    *,
+    min_cluster_size: int | None,
+    metric: str,
+    kernels: str | None,
+    distance_backend: str | None,
+    epsilon: float | None,
+    k_neighbors: int | None,
+) -> tuple:
+    from repro.core.distance_backend import get_distance_backend
+
+    backend = get_distance_backend(distance_backend)
+    if backend.name == "neighbors":
+        from repro.core.neighbor_graph import resolve_neighbor_epsilon, resolve_neighbor_k
+
+        tier: object = ("neighbors", resolve_neighbor_epsilon(epsilon), resolve_neighbor_k(k_neighbors))
+    else:
+        # The exact tiers build bit-identical structures; collapsing them to
+        # one token lets e.g. a memmap grid reuse a dense-warmed structure.
+        tier = "exact"
+    return (
+        array_fingerprint(np.asarray(X)),
+        str(metric),
+        int(min_pts),
+        int(resolve_min_cluster_size(min_pts, min_cluster_size)),
+        _kernels.resolve_kernel_mode(kernels),
+        tier,
+    )
+
+
+def cached_tree_structure(
+    X: np.ndarray,
+    min_pts: int,
+    *,
+    min_cluster_size: int | None = None,
+    metric: str = "euclidean",
+    kernels: str | None = None,
+    distance_backend: str | None = None,
+    epsilon: float | None = None,
+    k_neighbors: int | None = None,
+    store=None,
+) -> TreeStructure:
+    """The structure phase, memoised per process and optionally store-backed.
+
+    Without ``store`` this is a plain memo lookup (the path
+    :meth:`repro.clustering.fosc.FOSCOpticsDend.fit` takes — worker
+    processes never touch the artifact store).  With a ``store``
+    (:class:`~repro.experiments.artifacts.ArtifactStore`-compatible), the
+    store is probed *first* so its per-kind hit/miss stats record every
+    structure reuse, a persisted structure is decoded into the memo on a
+    memo miss, and a freshly built structure is written through as a
+    ``"structure"`` artifact.
+    """
+    memo_key = _structure_memo_key(
+        X, min_pts, min_cluster_size=min_cluster_size, metric=metric, kernels=kernels,
+        distance_backend=distance_backend, epsilon=epsilon, k_neighbors=k_neighbors,
+    )
+
+    def build() -> TreeStructure:
+        return build_tree_structure(
+            X, min_pts, min_cluster_size=min_cluster_size, metric=metric, kernels=kernels,
+            distance_backend=distance_backend, epsilon=epsilon, k_neighbors=k_neighbors,
+        )
+
+    if store is None:
+        return _structure_cache.get_or_compute(memo_key, build)
+
+    key = structure_store_key(
+        X, min_pts, min_cluster_size=min_cluster_size, metric=metric,
+        distance_backend=distance_backend, epsilon=epsilon, k_neighbors=k_neighbors,
+    )
+    memoised = _structure_cache.peek(memo_key)
+    if memoised is not None:
+        # The memo already holds the decoded structure: a cheap existence
+        # probe keeps the store's per-kind reuse accounting (and restores
+        # a deleted artifact by writing through) without re-parsing the
+        # payload on every warm call.
+        if not store.contains("structure", key):
+            store.put("structure", key, structure_payload(memoised))
+        return memoised
+    payload = store.get("structure", key)
+    if payload is not None:
+        return _structure_cache.get_or_compute(
+            memo_key, lambda: structure_from_payload(payload, kernels=kernels)
+        )
+    structure = _structure_cache.get_or_compute(memo_key, build)
+    store.put("structure", key, structure_payload(structure))
+    return structure
+
+
+def structure_cache_stats():
+    """Hit/miss accounting of the per-process structure memo."""
+    return _structure_cache.stats()
+
+
+def clear_structure_cache() -> None:
+    """Drop all memoised tree structures (mainly for tests and benchmarks)."""
+    _structure_cache.clear()
+
+
+def configure_structure_cache(max_items: int, max_bytes: int | None = None) -> None:
+    """Re-bound the per-process structure memo; clears the current contents."""
+    global _structure_cache
+    _structure_cache = MemoCache(max_items=max_items, max_bytes=max_bytes)

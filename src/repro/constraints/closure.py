@@ -109,6 +109,14 @@ def transitive_closure(
     paper (labels for a class of ``m`` objects induce ``m·(m-1)/2``
     must-links).
     """
+    if constraints.is_closed:
+        # Closure is idempotent and every marked closure is consistent by
+        # construction, so strict and lenient callers alike can reuse it.
+        # This is the hot path of the CVCP grid: the folds hand each cell
+        # an already-closed constraint set, and re-deriving its quadratic
+        # closure per parameter value would dominate the extraction phase.
+        return constraints.copy()
+
     ds = DisjointSet()
     for index in constraints.involved_objects():
         ds.add(index)
@@ -146,6 +154,7 @@ def transitive_closure(
             for j in components[root_j]:
                 closure.add(Constraint(i, j, CANNOT_LINK))
 
+    closure._closed = True
     return closure
 
 
@@ -203,6 +212,7 @@ def closure_of_labels(labels: dict[int, object]) -> ConstraintSet:
     for (i, label_i), (j, label_j) in combinations(items, 2):
         kind = MUST_LINK if label_i == label_j else CANNOT_LINK
         closure.add(Constraint(i, j, kind))
+    closure._closed = True
     return closure
 
 

@@ -114,6 +114,7 @@ class ConstraintSet:
 
     def __init__(self, constraints: Iterable[Constraint] = ()) -> None:
         self._by_pair: dict[tuple[int, int], Constraint] = {}
+        self._closed = False
         for constraint in constraints:
             self.add(constraint)
 
@@ -135,7 +136,20 @@ class ConstraintSet:
         """Return a shallow copy (constraints are immutable)."""
         clone = ConstraintSet()
         clone._by_pair = dict(self._by_pair)
+        clone._closed = self._closed
         return clone
+
+    @property
+    def is_closed(self) -> bool:
+        """Whether this set is a known transitive closure.
+
+        Set by :func:`repro.constraints.closure.transitive_closure` (and
+        the other closure constructors) on their results and cleared by
+        any mutation; closure is idempotent, so re-closing a marked set
+        short-circuits — the win that makes the CVCP grid's per-cell
+        re-closures of the already-closed fold constraints free.
+        """
+        return self._closed
 
     # ------------------------------------------------------------------
     # Mutation
@@ -150,6 +164,7 @@ class ConstraintSet:
                 f"{_KIND_NAMES[constraint.kind]}"
             )
         self._by_pair[constraint.pair] = constraint
+        self._closed = False
 
     def add_must_link(self, i: int, j: int) -> None:
         """Add a must-link constraint between objects ``i`` and ``j``."""
@@ -169,6 +184,7 @@ class ConstraintSet:
         existing = self._by_pair.get(constraint.pair)
         if existing is not None and existing.kind == constraint.kind:
             del self._by_pair[constraint.pair]
+            self._closed = False
 
     # ------------------------------------------------------------------
     # Introspection

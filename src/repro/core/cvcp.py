@@ -414,6 +414,16 @@ class CVCP:
             pending.append((index, cell_key))
 
         if pending:
+            # Warm the constraint-independent structure phase of every value
+            # that still has cells to compute: persisted "structure"
+            # artifacts (shared across oracles, folds and constraint
+            # amounts) are decoded into the per-process memo here in the
+            # submitting process, so serial/thread cells and fork-started
+            # process workers re-extract instead of refitting.  Fully
+            # cache-served grids skip the warm-up entirely.
+            self._warm_structures(
+                X, sorted({divmod(index, n_folds)[0] for index, _ in pending})
+            )
             # Without a store the callback is omitted entirely, keeping the
             # pool backends on their chunked fast path.
             persist_cell = None
@@ -457,10 +467,9 @@ class CVCP:
         self.best_score_ = self.cv_results_.best_score
 
         if self.refit:
-            refit_seed = derive_seed(
-                master_seed, self.parameter_values.index(self.cv_results_.best_value),
-                n_folds,
-            )
+            best_index = self.parameter_values.index(self.cv_results_.best_value)
+            self._warm_structures(X, [best_index])
+            refit_seed = derive_seed(master_seed, best_index, n_folds)
             self.best_estimator_ = self._refit(X, labeled_objects, constraints, refit_seed)
             self.labels_ = self.best_estimator_.labels_
         return self
@@ -483,6 +492,22 @@ class CVCP:
         return self.labels_
 
     # ------------------------------------------------------------------
+    def _warm_structures(self, X: np.ndarray, value_indices: Sequence[int]) -> None:
+        """Warm the store-backed structure phase for the given grid values.
+
+        A no-op without an artifact store or for estimators that declare no
+        cached structure phase (e.g. MPCKMeans, whose metric learning is
+        constraint-dependent end to end).  The warm-up stays in the
+        submitting process — worker tasks never touch the store.
+        """
+        if self.artifact_store is None:
+            return
+        if not getattr(self.estimator, "structure_caching", False):
+            return
+        for value_index in value_indices:
+            estimator = self._make_estimator(self.parameter_values[value_index], 0)
+            estimator.warm_structure(X, self.artifact_store)
+
     def _effective_distance_backend(self) -> str | None:
         """The tier grid cells run under: the CVCP override or the template's own."""
         if self.distance_backend is not None:

@@ -140,6 +140,7 @@ class ArtifactStore:
         self.refresh = bool(refresh)
         self.on_event = on_event
         self.stats = StoreStats()
+        self._stats_by_kind: dict[str, StoreStats] = {}
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -166,6 +167,21 @@ class ArtifactStore:
             return None
         self._count(hits=1, kind=kind)
         return record["payload"]
+
+    def contains(self, kind: str, key: dict[str, Any]) -> bool:
+        """Whether an artifact for ``key`` exists, counted as a hit/miss.
+
+        A cheap existence probe (no read, no JSON parse) for callers that
+        already hold the decoded value in a process-local memo but still
+        want the per-kind accounting to record the reuse — the structure
+        cache's warm path.  ``refresh`` mode reports absence, like
+        :meth:`get`.
+        """
+        if not self.refresh and self.path_for(kind, key).is_file():
+            self._count(hits=1, kind=kind)
+            return True
+        self._count(misses=1, kind=kind)
+        return False
 
     def put(self, kind: str, key: dict[str, Any], payload: Any) -> Path:
         """Persist ``payload`` under ``key`` atomically and return its path."""
@@ -224,14 +240,52 @@ class ArtifactStore:
     def reset_stats(self) -> None:
         with self._lock:
             self.stats = StoreStats()
+            self._stats_by_kind = {}
+
+    def stats_for(self, kind: str) -> StoreStats:
+        """Hit/miss/write accounting restricted to one artifact kind.
+
+        Kinds never asked for return all-zero stats.  The structure-cache
+        regression tests read this to prove e.g. that two runs differing
+        only in oracle spec share their ``"structure"`` artifacts.
+        """
+        with self._lock:
+            stats = self._stats_by_kind.get(kind)
+            return (
+                StoreStats(hits=stats.hits, misses=stats.misses, writes=stats.writes)
+                if stats is not None
+                else StoreStats()
+            )
+
+    def stats_by_kind(self) -> dict[str, dict[str, int]]:
+        """Per-kind hit/miss/write counters as plain nested dicts."""
+        with self._lock:
+            return {
+                kind: stats.as_dict()
+                for kind, stats in sorted(self._stats_by_kind.items())
+            }
 
     def describe_stats(self) -> str:
-        """One-line human summary, printed by the CLI after every run."""
+        """Human summary printed by the CLI after every run.
+
+        The headline line aggregates every kind; one indented line per kind
+        follows whenever more than one kind saw traffic, so shared
+        ``"structure"`` reuse never masks (or inflates) trial-level resume
+        accounting.
+        """
         stats = self.stats
-        return (
+        lines = [
             f"artifact store: {stats.hits} hits, {stats.misses} misses, "
             f"{stats.writes} written (root: {self.root})"
-        )
+        ]
+        by_kind = {kind: c for kind, c in self.stats_by_kind().items() if kind}
+        if len(by_kind) > 1:
+            for kind, counters in by_kind.items():
+                lines.append(
+                    f"  {kind}: {counters['hits']} hits, "
+                    f"{counters['misses']} misses, {counters['writes']} written"
+                )
+        return "\n".join(lines)
 
     # ------------------------------------------------------------------
     def _count(
@@ -241,6 +295,10 @@ class ArtifactStore:
             self.stats.hits += hits
             self.stats.misses += misses
             self.stats.writes += writes
+            per_kind = self._stats_by_kind.setdefault(kind, StoreStats())
+            per_kind.hits += hits
+            per_kind.misses += misses
+            per_kind.writes += writes
         if self.on_event is not None:
             event = "hit" if hits else ("write" if writes else "miss")
             self.on_event(event, kind)

@@ -58,7 +58,13 @@ def load_bench_panels(bench_dir: str | os.PathLike[str]) -> list[dict]:
             record = json.loads(path.read_text(encoding="utf-8"))
         except (OSError, json.JSONDecodeError):
             continue
-        for builder in (_panel_parallel, _panel_kernels, _panel_scale, _panel_fleet):
+        for builder in (
+            _panel_parallel,
+            _panel_kernels,
+            _panel_scale,
+            _panel_fleet,
+            _panel_online,
+        ):
             panel = builder(record, path.name)
             if panel is not None:
                 panels.append(panel)
@@ -136,6 +142,36 @@ def _panel_fleet(record: dict, filename: str) -> dict | None:
         "title": f"Fleet work-stealing speedup vs 1 worker ({filename})",
         "unit": "x",
         "note": section.get("grid", ""),
+        "rows": rows,
+    }
+
+
+def _panel_online(record: dict, filename: str) -> dict | None:
+    section = record.get("bench_online")
+    if not isinstance(section, dict) or not isinstance(section.get("deltas"), list):
+        return None
+    floors = section.get("floors", {})
+    rows = []
+    for delta in section["deltas"]:
+        if not isinstance(delta, dict) or "speedup" not in delta:
+            continue
+        rows.append((f"delta {delta.get('step')}", float(delta["speedup"]), None))
+    aggregate = section.get("aggregate", {})
+    if isinstance(aggregate, dict) and "speedup" in aggregate:
+        rows.append(("steady-state", float(aggregate["speedup"]), floors.get("speedup")))
+    if not rows:
+        return None
+    settings = section.get("settings", {})
+    note = ""
+    if isinstance(settings, dict) and settings:
+        note = (
+            f"{settings.get('dataset', '?')}, {settings.get('n_deltas', '?')} deltas, "
+            f"incremental re-selection vs cold accumulated replay"
+        )
+    return {
+        "title": f"Incremental CVCP speedup vs cold replay ({filename})",
+        "unit": "x",
+        "note": note,
         "rows": rows,
     }
 

@@ -1,0 +1,445 @@
+"""Incremental CVCP: replay a constraint stream over cached tree structures.
+
+The paper's CVCP procedure treats the constraint set as fixed.  In
+practice constraints *arrive*: an oracle answers queries over time, and
+after every batch of answers the practitioner wants the currently best
+parameter value.  Rerunning the full grid from scratch on every batch
+wastes almost all of its work — for FOSC the expensive phase (OPTICS
+core distances, the mutual-reachability MST, the condensed tree) does
+not depend on the constraints at all, only the FOSC extraction and the
+fold scoring do.
+
+This module replays such a stream deterministically:
+
+1. the oracle's full constraint set for the configured amount is drawn
+   once (the same draw a batch trial would make) and put in a
+   deterministic order (``sorted`` by the normalised constraint tuple,
+   or ``shuffled`` by the stream's own seeded permutation);
+2. the stream is cut into ``n_deltas`` cumulative prefixes — delta ``t``
+   re-runs CVCP selection on the first ``counts[t]`` constraints;
+3. every delta is a *full, honest* CVCP fit (per-step seed derived
+   up-front via :func:`~repro.utils.rng.spawn_seeds`), so its selection
+   is bit-identical to a cold CVCP run on the same accumulated
+   constraint set — the structure cache
+   (:func:`repro.clustering.hierarchy.cached_tree_structure`) merely
+   turns the per-delta refits into cheap re-extractions;
+4. with an :class:`~repro.experiments.artifacts.ArtifactStore`, every
+   completed delta persists one ``"online"`` artifact (and its CVCP
+   grid persists per-cell ``"cell"`` artifacts while in flight), so a
+   replay killed mid-stream resumes exactly where it died and produces
+   a byte-identical report.
+
+The replay reports the selection-stability-vs-queries curve: for every
+delta, the number of constraints seen so far, the selected parameter
+value, whether the selection changed, and whether it already agrees
+with the final selection.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field, replace
+from math import ceil
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.constraints.constraint import ConstraintSet
+from repro.constraints.oracles import ConstraintOracle
+from repro.core.cvcp import CVCP
+from repro.core.distance_backend import resolve_distance_backend
+from repro.experiments.artifacts import (
+    ArtifactStore,
+    dataset_fingerprint,
+    trial_config_fingerprint,
+)
+from repro.experiments.config import ExperimentConfig, default_config
+from repro.experiments.runner import (
+    algorithm_factory,
+    make_side_information,
+    parameter_values_for,
+)
+from repro.utils.rng import RandomStateLike, check_random_state, spawn_seeds
+from repro.utils.specs import SpecError, check_spec_mapping, unknown_key_problems
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.datasets.base import Dataset
+
+__all__ = [
+    "STREAM_ORDERS",
+    "OnlineReplay",
+    "OnlineStep",
+    "StreamSpec",
+    "replay_constraint_stream",
+    "stream_prefix_sizes",
+    "stream_step_key",
+]
+
+#: Deterministic orderings a constraint stream can arrive in.
+STREAM_ORDERS: tuple[str, ...] = ("sorted", "shuffled")
+
+DEFAULT_N_DELTAS = 4
+
+
+@dataclass(frozen=True)
+class StreamSpec:
+    """The ``[stream]`` pipeline-config table (``kind = "online"`` only).
+
+    Attributes
+    ----------
+    n_deltas:
+        Number of cumulative constraint batches the stream is cut into;
+        every delta triggers one incremental re-selection.
+    order:
+        Arrival order of the constraints: ``"sorted"`` (the normalised
+        constraint-tuple order — reproducible across platforms) or
+        ``"shuffled"`` (a permutation drawn from the replay's own seed).
+    """
+
+    n_deltas: int = DEFAULT_N_DELTAS
+    order: str = "sorted"
+
+    def with_overrides(self, **overrides) -> "StreamSpec":
+        """A copy with the given fields replaced (CLI flag overrides)."""
+        return replace(self, **{key: value for key, value in overrides.items() if value is not None})
+
+    def to_spec(self) -> dict:
+        """JSON/TOML-ready ``[stream]`` table (the shared spec protocol)."""
+        return {"n_deltas": self.n_deltas, "order": self.order}
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "StreamSpec":
+        """Validate a ``[stream]`` table mapping into a spec.
+
+        Collects every problem before raising
+        :class:`~repro.utils.specs.SpecError`.
+        """
+        spec = check_spec_mapping(spec, "stream")
+        known = ("n_deltas", "order")
+        problems = unknown_key_problems(spec, known, "stream")
+        kwargs: dict[str, object] = {}
+        if "n_deltas" in spec:
+            value = spec["n_deltas"]
+            if isinstance(value, bool) or not isinstance(value, int) or value < 1:
+                problems.append(f"stream.n_deltas: must be a positive integer, got {value!r}")
+            else:
+                kwargs["n_deltas"] = value
+        if "order" in spec:
+            value = spec["order"]
+            if not isinstance(value, str) or value not in STREAM_ORDERS:
+                problems.append(
+                    f"stream.order: must be one of {', '.join(STREAM_ORDERS)}, got {value!r}"
+                )
+            else:
+                kwargs["order"] = value
+        if problems:
+            raise SpecError("stream", problems)
+        return cls(**kwargs)
+
+
+@dataclass
+class OnlineStep:
+    """One incremental re-selection after a constraint delta.
+
+    ``fold_scores`` holds the full CVCP grid of this step (one list of
+    per-fold internal scores per parameter value) and ``labels`` the
+    partition of the refit at the selected value — together with
+    ``value`` these are the three quantities the delta-equivalence
+    contract pins bit-identically to a cold run.
+    """
+
+    step: int
+    queries: int
+    value: int
+    fold_scores: list[list[float]]
+    labels: list[int]
+
+    @property
+    def mean_scores(self) -> list[float]:
+        """Mean internal score per parameter value, in sweep order."""
+        return [float(np.mean(scores)) if scores else 0.0 for scores in self.fold_scores]
+
+    @property
+    def labels_digest(self) -> str:
+        """SHA-256 of the selected partition (summaries stay small)."""
+        array = np.asarray(self.labels, dtype=np.int64)
+        return hashlib.sha256(array.tobytes()).hexdigest()
+
+    def to_payload(self) -> dict:
+        """JSON-serialisable form (exact float round-trip; see artifacts)."""
+        return {
+            "step": self.step,
+            "queries": self.queries,
+            "value": self.value,
+            "fold_scores": [list(scores) for scores in self.fold_scores],
+            "labels": [int(label) for label in self.labels],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "OnlineStep":
+        """Rebuild a step from :meth:`to_payload` output (or a JSON load)."""
+        return cls(
+            step=int(payload["step"]),
+            queries=int(payload["queries"]),
+            value=int(payload["value"]),
+            fold_scores=[[float(v) for v in scores] for scores in payload["fold_scores"]],
+            labels=[int(label) for label in payload["labels"]],
+        )
+
+
+@dataclass
+class OnlineReplay:
+    """The full selection-stability-vs-queries record of one stream."""
+
+    dataset: str
+    amount: float
+    stream: StreamSpec
+    parameter_values: list[int]
+    total_constraints: int
+    steps: list[OnlineStep] = field(default_factory=list)
+
+    @property
+    def final_value(self) -> int:
+        """The selection after the whole stream arrived."""
+        if not self.steps:
+            raise ValueError("the replay recorded no steps")
+        return self.steps[-1].value
+
+    @property
+    def stability(self) -> float:
+        """Fraction of deltas whose selection already equals the final one."""
+        if not self.steps:
+            return 0.0
+        final = self.final_value
+        return float(np.mean([step.value == final for step in self.steps]))
+
+    def as_summary(self) -> dict:
+        """Deterministic JSON summary (part of ``summary.json``)."""
+        final = self.final_value
+        previous: int | None = None
+        steps = []
+        for step in self.steps:
+            steps.append(
+                {
+                    "step": step.step,
+                    "queries": step.queries,
+                    "value": step.value,
+                    "changed": previous is not None and step.value != previous,
+                    "agrees_with_final": step.value == final,
+                    "mean_scores": step.mean_scores,
+                    "labels_digest": step.labels_digest,
+                }
+            )
+            previous = step.value
+        return {
+            "n_deltas": self.stream.n_deltas,
+            "order": self.stream.order,
+            "total_constraints": self.total_constraints,
+            "parameter_values": list(self.parameter_values),
+            "steps": steps,
+            "final_value": final,
+            "stability": self.stability,
+        }
+
+
+def stream_prefix_sizes(total: int, n_deltas: int) -> list[int]:
+    """Cumulative prefix sizes of a stream cut into ``n_deltas`` batches.
+
+    The last prefix always covers the whole stream; with fewer
+    constraints than deltas some consecutive prefixes coincide (their
+    re-selection is then served from the per-step artifact).
+    """
+    if n_deltas < 1:
+        raise ValueError(f"n_deltas must be positive, got {n_deltas}")
+    return [ceil(total * (index + 1) / n_deltas) for index in range(n_deltas)]
+
+
+def stream_step_key(
+    config: ExperimentConfig,
+    dataset: "Dataset",
+    amount: float,
+    stream: StreamSpec,
+    step: int,
+    step_seed: int,
+    oracle: ConstraintOracle | None = None,
+) -> dict:
+    """Artifact-store key of one online re-selection step.
+
+    Mirrors :func:`~repro.experiments.runner.trial_artifact_key`: the
+    trial-relevant config fields, the data-set content, the oracle spec,
+    the amount, the stream shape and the step's position + derived seed.
+    The exact distance tiers share keys; the approximate ``neighbors``
+    tier carries its own ``approx`` entry.
+    """
+    from repro.constraints.oracles import PerfectOracle
+
+    oracle = oracle if oracle is not None else PerfectOracle()
+    key = {
+        "config": trial_config_fingerprint(config),
+        "dataset": dataset_fingerprint(dataset),
+        "algorithm": "fosc",
+        "scenario": "constraints",
+        "amount": float(amount),
+        "oracle": oracle.spec(),
+        "stream": {"n_deltas": int(stream.n_deltas), "order": str(stream.order)},
+        "step": int(step),
+        "step_seed": int(step_seed),
+    }
+    if resolve_distance_backend(config.distance_backend) == "neighbors":
+        from repro.core.neighbor_graph import resolve_neighbor_epsilon, resolve_neighbor_k
+
+        epsilon = resolve_neighbor_epsilon(config.epsilon)
+        key["approx"] = {
+            "distance_backend": "neighbors",
+            # JSON has no inf literal; serialise it as the string "inf".
+            "epsilon": "inf" if np.isinf(epsilon) else float(epsilon),
+            "k_neighbors": resolve_neighbor_k(config.k_neighbors),
+        }
+    return key
+
+
+def ordered_stream(
+    constraints: ConstraintSet, order: str, rng: np.random.Generator
+) -> list:
+    """The stream's deterministic arrival order over a constraint set.
+
+    ``rng`` is consumed only by ``"shuffled"``; the draw happens for
+    every order so the downstream seed stream does not depend on it.
+    """
+    if order not in STREAM_ORDERS:
+        raise ValueError(f"order must be one of {STREAM_ORDERS}, got {order!r}")
+    base = sorted(constraints)
+    permutation = rng.permutation(len(base))
+    if order == "shuffled":
+        return [base[index] for index in permutation]
+    return base
+
+
+def replay_constraint_stream(
+    dataset: "Dataset",
+    amount: float,
+    *,
+    config: ExperimentConfig | None = None,
+    stream: StreamSpec | None = None,
+    oracle: ConstraintOracle | None = None,
+    random_state: RandomStateLike = None,
+    store: ArtifactStore | None = None,
+) -> OnlineReplay:
+    """Replay one oracle constraint stream through incremental CVCP.
+
+    Every delta runs a full CVCP selection (refit included) on the
+    accumulated constraint prefix with a per-step derived seed, so the
+    selected value, the per-cell scores and the refit labels are
+    bit-identical to a cold CVCP run on the same accumulated set — the
+    structure cache only removes the redundant refitting work.  With a
+    ``store``, completed steps are served from their ``"online"``
+    artifacts (and in-flight grids resume per cell), so a killed replay
+    restarted over the same store root reports byte-identical results.
+    """
+    config = config or default_config()
+    stream = stream or StreamSpec()
+    rng = check_random_state(random_state if random_state is not None else config.seed)
+
+    side = make_side_information(
+        dataset, "constraints", amount, random_state=rng, oracle=oracle
+    )
+    arrivals = ordered_stream(side.constraints, stream.order, rng)
+    estimator = algorithm_factory("fosc", config, random_state=rng)
+    values = parameter_values_for("fosc", dataset, config)
+    step_seeds = spawn_seeds(rng, stream.n_deltas)
+    counts = stream_prefix_sizes(len(arrivals), stream.n_deltas)
+
+    steps: list[OnlineStep] = []
+    for index, (count, step_seed) in enumerate(zip(counts, step_seeds)):
+        key = None
+        if store is not None:
+            key = stream_step_key(config, dataset, amount, stream, index, step_seed, oracle)
+            cached = store.get("online", key)
+            if cached is not None:
+                steps.append(OnlineStep.from_payload(cached))
+                continue
+        prefix = ConstraintSet(arrivals[:count])
+        search = CVCP(
+            estimator,
+            values,
+            n_folds=config.n_folds,
+            refit=True,
+            random_state=step_seed,
+            execution=config.execution_spec(),
+            artifact_store=store,
+            artifact_scope=key,
+        )
+        search.fit(dataset.X, constraints=prefix)
+        step = OnlineStep(
+            step=index,
+            queries=count,
+            value=int(search.cv_results_.best_value),
+            fold_scores=[
+                [float(score) for score in evaluation.fold_scores]
+                for evaluation in search.cv_results_.evaluations
+            ],
+            labels=[int(label) for label in search.labels_],
+        )
+        steps.append(step)
+        if store is not None and key is not None:
+            store.put("online", key, step.to_payload())
+            _compact_step_cells(store, key, len(values), config.n_folds)
+    return OnlineReplay(
+        dataset=dataset.name,
+        amount=float(amount),
+        stream=stream,
+        parameter_values=list(values),
+        total_constraints=len(arrivals),
+        steps=steps,
+    )
+
+
+def _compact_step_cells(
+    store: ArtifactStore, key: dict, n_values: int, n_folds: int
+) -> None:
+    """Drop the interim per-cell artifacts of a completed online step.
+
+    The step artifact carries everything a resumed replay needs; the
+    cells only matter while the step's own grid is in flight.
+    """
+    for value_index in reversed(range(n_values)):
+        for fold_index in reversed(range(n_folds)):
+            store.delete("cell", dict(key, phase="grid", value_index=value_index, fold=fold_index))
+
+
+def cold_selection(
+    dataset: "Dataset",
+    constraints: ConstraintSet,
+    step_seed: int,
+    *,
+    config: ExperimentConfig | None = None,
+    template_seed_rng: np.random.Generator | None = None,
+) -> tuple[int, list[list[float]], list[int]]:
+    """One cold CVCP selection on an accumulated constraint set.
+
+    The reference the delta-equivalence suite compares against: no
+    artifact store, and the caller is expected to have cleared the
+    process-wide caches.  Returns ``(value, fold_scores, labels)`` in
+    the same shapes an :class:`OnlineStep` records.
+    """
+    config = config or default_config()
+    rng = template_seed_rng if template_seed_rng is not None else np.random.default_rng(0)
+    estimator = algorithm_factory("fosc", config, random_state=rng)
+    values = parameter_values_for("fosc", dataset, config)
+    search = CVCP(
+        estimator,
+        values,
+        n_folds=config.n_folds,
+        refit=True,
+        random_state=step_seed,
+        execution=config.execution_spec(),
+    )
+    search.fit(dataset.X, constraints=constraints)
+    return (
+        int(search.cv_results_.best_value),
+        [
+            [float(score) for score in evaluation.fold_scores]
+            for evaluation in search.cv_results_.evaluations
+        ],
+        [int(label) for label in search.labels_],
+    )

@@ -9,7 +9,7 @@ the execution engine and the artifact-store location:
 
     [experiment]
     name = "quickstart-iris"
-    kind = "comparison"          # comparison|correlation|curves|trials|ablation|robustness
+    kind = "comparison"          # comparison|correlation|curves|trials|ablation|robustness|online
     algorithm = "fosc"           # fosc|mpck
     scenario = "labels"          # labels|constraints
     amounts = [0.10]
@@ -89,6 +89,7 @@ from repro.experiments.reporting import (
     render_report,
     write_report,
 )
+from repro.experiments.online import StreamSpec, replay_constraint_stream
 from repro.experiments.robustness import DEFAULT_FLIP_RATES, noise_robustness_table
 from repro.experiments.runner import run_trials
 from repro.serve.schemas import ServeSettings
@@ -102,6 +103,7 @@ PIPELINE_KINDS: tuple[str, ...] = (
     "trials",
     "ablation",
     "robustness",
+    "online",
 )
 
 ALGORITHMS: tuple[str, ...] = ("fosc", "mpck")
@@ -157,6 +159,8 @@ class PipelineSpec:
     flip_rates: tuple[float, ...] = DEFAULT_FLIP_RATES
     #: Closure-consistency repair for the ``robustness`` sweep's oracle.
     oracle_repair: bool = False
+    #: Constraint-stream replay knobs for ``kind = "online"`` (``[stream]``).
+    stream: StreamSpec = StreamSpec()
     #: Work-stealing knobs for ``repro run --worker`` (``[fleet]`` table).
     fleet: FleetSettings = FleetSettings()
     #: HTTP-layer knobs for ``repro serve`` (``[serve]`` table).
@@ -175,13 +179,14 @@ class PipelineSpec:
         rebuilds an equal spec (modulo ``source``, which names where a
         spec was *loaded from* and has no place in the mapping).  Tables
         a kind forbids (``[oracle]`` for ablations, ``experiment.scenario``
-        for ablations, ``experiment.algorithm`` for robustness sweeps)
+        for ablations and online replays, ``experiment.algorithm`` for
+        robustness sweeps, ``[stream]`` for everything but online replays)
         are omitted rather than emitted-and-rejected.
         """
         experiment: dict = {"name": self.name, "kind": self.kind}
         if self.kind != "robustness":
             experiment["algorithm"] = self.algorithm
-        if self.kind != "ablation":
+        if self.kind not in ("ablation", "online"):
             experiment["scenario"] = self.scenario
         experiment["amounts"] = [float(amount) for amount in self.amounts]
         experiment["datasets"] = list(self.datasets)
@@ -202,6 +207,8 @@ class PipelineSpec:
         if execution:
             spec["execution"] = execution
         spec["artifacts"] = {"root": str(self.artifacts_root)}
+        if self.kind == "online":
+            spec["stream"] = self.stream.to_spec()
         spec["report"] = {"formats": list(self.report_formats)}
         spec["fleet"] = self.fleet.to_spec()
         spec["serve"] = self.serve.to_spec()
@@ -267,7 +274,8 @@ def validate_pipeline_mapping(raw: dict, source: str) -> tuple[PipelineSpec | No
     problems: list[str] = []
 
     known_tables = (
-        "experiment", "parameters", "oracle", "execution", "artifacts", "report", "fleet", "serve",
+        "experiment", "parameters", "oracle", "execution", "artifacts", "report",
+        "stream", "fleet", "serve",
     )
     for table in raw:
         if table not in known_tables:
@@ -306,6 +314,15 @@ def validate_pipeline_mapping(raw: dict, source: str) -> tuple[PipelineSpec | No
             'experiment.algorithm: not configurable for kind="robustness" — the sweep'
             " runs every algorithm; remove the key"
         )
+    if kind == "online" and algorithm == "mpck":
+        # The online kind replays constraint deltas through the cached,
+        # constraint-independent FOSC tree structures; MPCKMeans refits its
+        # metric on every constraint set and has no structure phase to reuse.
+        problems.append(
+            'experiment.algorithm: kind="online" replays constraint streams through'
+            ' the cached FOSC tree structures; MPCKMeans has no'
+            ' constraint-independent structure phase — use algorithm = "fosc"'
+        )
     scenario = _check_enum(
         problems, "experiment", "scenario", experiment.get("scenario", "labels"), SCENARIOS
     )
@@ -317,6 +334,13 @@ def validate_pipeline_mapping(raw: dict, source: str) -> tuple[PipelineSpec | No
             'experiment.scenario: not configurable for kind="ablation" — each ablation'
             " fixes its own scenario; remove the key"
         )
+    if kind == "online":
+        if "scenario" in experiment:
+            problems.append(
+                'experiment.scenario: not configurable for kind="online" — a stream'
+                " is inherently pairwise constraints; remove the key"
+            )
+        scenario = "constraints"
 
     seed = experiment.get("seed", 20140324)
     if isinstance(seed, bool) or not isinstance(seed, int) or seed < 0:
@@ -464,7 +488,7 @@ def validate_pipeline_mapping(raw: dict, source: str) -> tuple[PipelineSpec | No
                 problems, "execution", "parallelize", execution["parallelize"], ("grid", "trials")
             )
             parallelize = checked or parallelize
-            if kind in ("curves", "ablation"):
+            if kind in ("curves", "ablation", "online"):
                 problems.append(
                     f"execution.parallelize: has no effect for kind={kind!r} "
                     "(single-trial work); remove the key"
@@ -501,6 +525,19 @@ def validate_pipeline_mapping(raw: dict, source: str) -> tuple[PipelineSpec | No
                 problems.append(f"artifacts.root: must be a non-empty path string, got {value!r}")
             else:
                 artifacts_root = value
+
+    stream_table = raw.get("stream", {})
+    stream_spec = StreamSpec()
+    if isinstance(stream_table, dict) and stream_table:
+        if kind is not None and kind != "online":
+            problems.append(
+                f'stream: only kind="online" replays a constraint stream; '
+                f"remove the table (kind is {kind!r})"
+            )
+        try:
+            stream_spec = StreamSpec.from_spec(stream_table)
+        except SpecError as exc:
+            problems.extend(exc.problems)
 
     fleet_table = raw.get("fleet", {})
     fleet_settings = FleetSettings()
@@ -572,6 +609,7 @@ def validate_pipeline_mapping(raw: dict, source: str) -> tuple[PipelineSpec | No
         oracle=oracle,
         flip_rates=flip_rates,
         oracle_repair=oracle_repair,
+        stream=stream_spec,
         fleet=fleet_settings,
         serve=serve_settings,
         source=None,
@@ -812,6 +850,52 @@ def _run_robustness(spec: PipelineSpec, store: ArtifactStore) -> tuple[list[tupl
     return sections, results
 
 
+def _run_online(spec: PipelineSpec, store: ArtifactStore) -> tuple[list[tuple[str, str]], dict]:
+    """Constraint-stream replay: selection stability vs queries, per delta.
+
+    Every delta re-runs CVCP on the accumulated constraint prefix
+    (bit-identical to a cold run on that set); the shared ``"structure"``
+    artifacts make the re-selection an extraction-only pass, and the
+    per-step ``"online"`` artifacts make a killed replay resume
+    byte-identically.
+    """
+    sections: list[tuple[str, str]] = []
+    results: dict = {}
+    headers = ["step", "queries", "selected", "changed", "agrees_with_final"]
+    for name in spec.datasets:
+        dataset = get_dataset(name, random_state=spec.config.seed)
+        per_amount: dict = {}
+        for amount in spec.amounts:
+            replay = replay_constraint_stream(
+                dataset,
+                amount,
+                config=spec.config,
+                stream=spec.stream,
+                oracle=spec.oracle,
+                random_state=spec.config.seed,
+                store=store,
+            )
+            summary = replay.as_summary()
+            rows = [
+                [
+                    step["step"],
+                    step["queries"],
+                    step["value"],
+                    str(step["changed"]).lower(),
+                    str(step["agrees_with_final"]).lower(),
+                ]
+                for step in summary["steps"]
+            ]
+            heading = (
+                f"Online replay, {name}, {int(round(amount * 100))}% constraint stream "
+                f"({spec.stream.n_deltas} deltas, {spec.stream.order} order)"
+            )
+            sections.append((heading, format_table(headers, rows)))
+            per_amount[_format_amount(amount)] = summary
+        results[name] = per_amount
+    return sections, results
+
+
 _KIND_RUNNERS = {
     "comparison": _run_comparison,
     "correlation": _run_correlation,
@@ -819,6 +903,7 @@ _KIND_RUNNERS = {
     "trials": _run_trials_kind,
     "ablation": _run_ablation,
     "robustness": _run_robustness,
+    "online": _run_online,
 }
 
 
@@ -875,6 +960,8 @@ def run_pipeline(
     if spec.kind == "robustness":
         summary["flip_rates"] = sorted({0.0} | {float(rate) for rate in spec.flip_rates})
         summary["oracle_repair"] = spec.oracle_repair
+    if spec.kind == "online":
+        summary["stream"] = spec.stream.to_spec()
     title = f"{spec.name} — {spec.kind} pipeline ({spec.algorithm}, {spec.scenario} scenario)"
     report_text = render_report(title, sections)
 
@@ -889,5 +976,5 @@ def run_pipeline(
         summary=summary,
         report_text=report_text,
         report_paths=report_paths,
-        stats=store.stats.as_dict(),
+        stats=dict(store.stats.as_dict(), by_kind=store.stats_by_kind()),
     )

@@ -374,6 +374,11 @@ def run_trial(
                 external_scores.append(float(cached_cell["external"]))
                 silhouettes.append(float(cached_cell["silhouette"]))
                 continue
+        if cell_store is not None and getattr(model, "structure_caching", False):
+            # The external fit reuses the same constraint-independent
+            # structure artifacts the CVCP grid warmed (or persists them
+            # for the next run if the grid was fully cache-served).
+            model.warm_structure(dataset.X, cell_store)
         model.fit(dataset.X, constraints=training)
         external_scores.append(
             overall_f_measure(dataset.y, model.labels_, exclude=exclude)

@@ -140,6 +140,22 @@ class MemoCache:
             self._stats.size = len(self._entries)
             return value
 
+    def peek(self, key: object) -> object | None:
+        """Return the cached value for ``key`` without computing, or ``None``.
+
+        A present key counts as a hit (and refreshes its LRU recency);
+        absence is *not* counted as a miss — the caller decides whether to
+        compute, so the eventual :meth:`get_or_compute` records it.
+        """
+        if self.max_items == 0:
+            return None
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._stats.hits += 1
+                return self._entries[key]
+            return None
+
     def clear(self) -> None:
         """Drop every entry and reset the statistics."""
         with self._lock:
@@ -201,14 +217,17 @@ def distance_cache_stats() -> CacheStats:
 def clear_distance_cache() -> None:
     """Drop all memoised distance matrices (mainly for tests and benchmarks).
 
-    Also drops the neighbour-graph memo of the ``neighbors`` tier, so one
-    call resets every per-process distance-derived cache.
+    Also drops the neighbour-graph memo of the ``neighbors`` tier and the
+    tree-structure memo built on top of the distances, so one call resets
+    every per-process distance-derived cache.
     """
     _distance_cache.clear()
-    # Imported lazily: core.neighbor_graph imports this module at top level.
+    # Imported lazily: both modules import this one at top level.
+    from repro.clustering.hierarchy import clear_structure_cache
     from repro.core.neighbor_graph import clear_neighbor_graph_cache
 
     clear_neighbor_graph_cache()
+    clear_structure_cache()
 
 
 def configure_distance_cache(max_items: int, max_bytes: int | None = None) -> None:

@@ -1,0 +1,173 @@
+"""Unit tests for the ``repro bench online`` record and regression gate."""
+
+import pytest
+
+from repro.cli import bench_online
+from repro.utils.specs import SpecError
+
+
+def delta(step, *, cold=0.05, incr=0.005, equivalent=True):
+    return {
+        "step": step,
+        "queries": 2 + step,
+        "value": 3,
+        "cold_s": cold,
+        "incremental_s": incr,
+        "speedup": cold / incr,
+        "structure_hits": 9,
+        "structure_misses": 0,
+        "equivalent": equivalent,
+    }
+
+
+def fresh_record(**overrides) -> dict:
+    record = {
+        "kind": "repro-bench-online",
+        "machine": {"cpu_count": 4, "python": "3.12.0"},
+        "settings": {
+            "dataset": "Iris",
+            "amount": 0.1,
+            "n_deltas": 4,
+            "order": "sorted",
+            "minpts_range": [3, 6, 9],
+            "n_folds": 3,
+            "total_constraints": 10,
+        },
+        "deltas": [delta(step) for step in range(4)],
+        "aggregate": {
+            "cold_s": 0.15,
+            "incremental_s": 0.015,
+            "speedup": 10.0,
+            "structure_hit_rate": 1.0,
+            "equivalent": True,
+        },
+        "floors": dict(bench_online.DEFAULT_FLOORS),
+    }
+    for dotted, value in overrides.items():
+        section, key = dotted.split(".")
+        record[section][key] = value
+    return record
+
+
+def baseline_for(record: dict) -> dict:
+    return {
+        bench_online.BASELINE_SECTION: {
+            "floors": dict(record["floors"]),
+            "aggregate": dict(record["aggregate"]),
+        }
+    }
+
+
+class TestNormalize:
+    def test_accepts_a_fresh_record(self):
+        record = fresh_record()
+        assert bench_online.normalize_record(record) is record
+
+    def test_rejects_foreign_records(self):
+        with pytest.raises(ValueError, match="repro-bench-online"):
+            bench_online.normalize_record({"kind": "repro-bench-serve"})
+
+    def test_rejects_too_few_deltas(self):
+        record = fresh_record()
+        record["deltas"] = record["deltas"][:1]
+        with pytest.raises(ValueError, match="at least 2"):
+            bench_online.normalize_record(record)
+
+    def test_rejects_malformed_delta_entries(self):
+        record = fresh_record()
+        del record["deltas"][1]["cold_s"]
+        with pytest.raises(ValueError, match="deltas entry"):
+            bench_online.normalize_record(record)
+
+    def test_rejects_missing_aggregate_keys(self):
+        record = fresh_record()
+        del record["aggregate"]["structure_hit_rate"]
+        with pytest.raises(ValueError, match="aggregate"):
+            bench_online.normalize_record(record)
+
+    def test_spec_protocol_wraps_validation(self):
+        record = fresh_record()
+        assert bench_online.from_spec(bench_online.to_spec(record)) == record
+        with pytest.raises(SpecError, match="online bench record"):
+            bench_online.from_spec({"kind": "nope"})
+        with pytest.raises(SpecError, match="table/object"):
+            bench_online.from_spec([1])
+
+
+class TestCompare:
+    def test_clean_record_passes(self):
+        record = fresh_record()
+        assert bench_online.compare_records(record, baseline_for(record)) == []
+
+    def test_missing_baseline_section_is_reported(self):
+        problems = bench_online.compare_records(fresh_record(), {})
+        assert problems and "bench_online" in problems[0]
+
+    def test_divergence_is_fatal_and_names_the_steps(self):
+        record = fresh_record(**{"aggregate.equivalent": False})
+        record["deltas"][2]["equivalent"] = False
+        problems = bench_online.compare_records(record, baseline_for(fresh_record()))
+        assert any("diverged" in problem and "[2]" in problem for problem in problems)
+
+    def test_speedup_floor(self):
+        record = fresh_record(**{"aggregate.speedup": 1.2})
+        problems = bench_online.compare_records(record, baseline_for(fresh_record()))
+        assert any("below the 5.0x floor" in problem for problem in problems)
+
+    def test_structure_hit_rate_floor(self):
+        record = fresh_record(**{"aggregate.structure_hit_rate": 0.5})
+        problems = bench_online.compare_records(record, baseline_for(fresh_record()))
+        assert any("cache-hit rate" in problem for problem in problems)
+
+    def test_floors_travel_inside_the_baseline(self):
+        record = fresh_record(**{"aggregate.speedup": 6.0})
+        baseline = baseline_for(fresh_record())
+        baseline[bench_online.BASELINE_SECTION]["floors"]["speedup"] = 8.0
+        problems = bench_online.compare_records(record, baseline)
+        assert any("8.0x floor" in problem for problem in problems)
+
+    def test_incremental_wall_clock_budget_vs_baseline(self):
+        record = fresh_record(**{"aggregate.incremental_s": 0.15})
+        baseline = baseline_for(fresh_record())
+        assert any(
+            "wall-clock" in problem
+            for problem in bench_online.compare_records(record, baseline, max_slowdown=1.0)
+        )
+        assert bench_online.compare_records(record, baseline, max_slowdown=20.0) == []
+
+
+class TestFormatting:
+    def test_table_lists_every_delta_and_gate(self):
+        table = bench_online.format_online_table(fresh_record())
+        for token in (
+            "delta",
+            "queries",
+            "cold (s)",
+            "incr (s)",
+            "steady-state speedup",
+            "structure-hit rate",
+            "delta-equivalent",
+            "10.0x",
+            "5.0x",
+        ):
+            assert token in table
+
+    def test_table_reads_floors_from_baseline(self):
+        record = fresh_record()
+        baseline = baseline_for(record)
+        baseline[bench_online.BASELINE_SECTION]["floors"]["structure_hit_rate"] = 0.42
+        assert "0.42" in bench_online.format_online_table(record, baseline)
+
+
+class TestLiveRun:
+    def test_deltas_must_cover_a_steady_state(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            bench_online.run_bench_online(deltas=1)
+
+    def test_tiny_live_run_is_equivalent_and_hits_structures(self):
+        record = bench_online.run_bench_online(deltas=2)
+        assert bench_online.normalize_record(record) is record
+        assert record["aggregate"]["equivalent"] is True
+        # After the first delta the structures must come from the cache.
+        assert record["aggregate"]["structure_hit_rate"] == 1.0
+        assert record["settings"]["n_deltas"] == 2

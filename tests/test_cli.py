@@ -348,7 +348,14 @@ class TestPipelineKinds:
         spec, problems = validate_pipeline_mapping(raw, "inline")
         assert spec is not None, problems
         fresh = run_pipeline(spec)
-        assert fresh.stats["hits"] == 0 and fresh.stats["misses"] > 0
+        # A fresh run may legitimately reuse "structure" artifacts across
+        # its own trials; every other kind must be computed from scratch.
+        reused = {
+            kind: counters["hits"]
+            for kind, counters in fresh.stats["by_kind"].items()
+            if kind != "structure" and counters["hits"]
+        }
+        assert not reused and fresh.stats["misses"] > 0
         assert fresh.summary["kind"] == kind and fresh.summary["results"]
         assert fresh.report_text.startswith(f"kind-{kind}")
         resumed = run_pipeline(spec)

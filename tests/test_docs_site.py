@@ -95,6 +95,7 @@ class TestMkdocstringsDirectives:
             "repro.experiments.robustness",
             "repro.experiments.artifacts",
             "repro.experiments.pipeline",
+            "repro.experiments.online",
             "repro.experiments.fleet",
             "repro.experiments.dashboard",
             "repro.cli.main",
@@ -137,7 +138,8 @@ class TestSchemaDocsInSync:
         for command in ("repro run", "repro serve", "repro report",
                         "repro bench", "repro bench kernels",
                         "repro bench scale", "repro bench fleet",
-                        "repro bench serve", "repro status", "repro dashboard",
+                        "repro bench serve", "repro bench online",
+                        "repro status", "repro dashboard",
                         "repro datasets list", "repro validate-config"):
             assert command in cli_page
 
@@ -193,6 +195,44 @@ class TestSchemaDocsInSync:
         assert "repro.api" in architecture_page
         assert "Serve" in architecture_page  # the component diagram row
         assert "byte-identical" in architecture_page
+
+    def test_stream_config_table_is_documented(self):
+        from dataclasses import fields
+
+        from repro.experiments.online import StreamSpec
+
+        config_page = (DOCS_DIR / "config.md").read_text(encoding="utf-8")
+        assert "`[stream]`" in config_page
+        for field in fields(StreamSpec):
+            assert f"`{field.name}`" in config_page, f"stream key {field.name} undocumented"
+
+    def test_stream_cli_flags_are_documented(self):
+        cli_page = (DOCS_DIR / "cli.md").read_text(encoding="utf-8")
+        for flag in ("--stream-deltas", "--stream-order"):
+            assert flag in cli_page, f"cli.md missing {flag}"
+
+    def test_online_page_covers_the_contract(self):
+        online_page = (DOCS_DIR / "online.md").read_text(encoding="utf-8")
+        for term in ("structure", "extraction", "bit-identical",
+                     "delta-equivalence", "cold", "SIGKILL",
+                     "stream_step_key", "cached_tree_structure",
+                     "BENCH_online.json", "repro bench online",
+                     "stability", "sorted", "shuffled",
+                     "examples/online_stream.toml"):
+            assert term in online_page, f"online.md missing {term!r}"
+
+    def test_determinism_page_covers_the_online_contract(self):
+        determinism_page = (DOCS_DIR / "determinism.md").read_text(encoding="utf-8")
+        assert "delta-equivalence" in determinism_page
+        assert "cold_selection" in determinism_page
+        assert "structure" in determinism_page
+
+    def test_architecture_page_covers_the_online_layer(self):
+        architecture_page = (DOCS_DIR / "architecture.md").read_text(encoding="utf-8")
+        assert "repro.experiments.online" in architecture_page
+        assert "Online" in architecture_page  # the component diagram row
+        assert "cached_tree_structure" in architecture_page
+        assert "delta-equivalence" in architecture_page
 
     def test_execution_distance_backend_key_is_documented(self):
         config_page = (DOCS_DIR / "config.md").read_text(encoding="utf-8")

@@ -111,7 +111,7 @@ class TestTrialResume:
         assert store.count("trial") == 1
         assert store.count("cell") == 0  # interim cells compacted into the trial artifact
         second = run_trial(dataset, "fosc", "labels", 0.1, config=TINY, random_state=7, store=store)
-        assert store.stats.hits == 1
+        assert store.stats_for("trial").hits == 1
         assert first == second
 
     def test_interrupted_trial_resumes_from_cells(self, tmp_path, dataset, monkeypatch):
@@ -164,7 +164,7 @@ class TestTrialResume:
         assert store.count("cell") == 4
         store.reset_stats()
         resumed = run_trial(dataset, "fosc", "labels", 0.1, config=TINY, random_state=7, store=store)
-        assert store.stats.hits == 4
+        assert store.stats_for("cell").hits == 4
         assert store.count("cell") == 0
         plain = run_trial(dataset, "fosc", "labels", 0.1, config=TINY, random_state=7)
         assert resumed == plain
@@ -192,13 +192,15 @@ class TestTrialResume:
         plain = run_trials(dataset, "fosc", "labels", 0.1, 2, config=TINY, random_state=3)
         store = ArtifactStore(tmp_path / "store")
         fresh = run_trials(dataset, "fosc", "labels", 0.1, 2, config=TINY, random_state=3, store=store)
-        assert store.stats.hits == 0
+        assert store.stats_for("trial").hits == 0
         assert store.count("trial") == 2
         store.reset_stats()
         resumed = run_trials(
             dataset, "fosc", "labels", 0.1, 2, config=TINY, random_state=3, store=store
         )
-        assert (store.stats.hits, store.stats.misses) == (2, 0)
+        trial_stats = store.stats_for("trial")
+        assert (trial_stats.hits, trial_stats.misses) == (2, 0)
+        assert store.stats.misses == 0  # fully cached runs touch nothing else
         assert plain == fresh == resumed
 
     def test_deleting_one_cell_recomputes_only_that_cell(self, tmp_path, dataset):
@@ -216,7 +218,7 @@ class TestTrialResume:
         resumed = run_trials(
             dataset, "fosc", "labels", 0.1, 2, config=TINY, random_state=3, store=store
         )
-        assert store.stats.hits == 1  # the untouched trial
+        assert store.stats_for("trial").hits == 1  # the untouched trial
         assert store.count("trial") == 2  # the deleted one was recomputed
         assert resumed == results
 
@@ -230,7 +232,7 @@ class TestTrialResume:
             dataset, "fosc", "labels", 0.1, 2, config=TINY, random_state=3,
             backend="thread", n_jobs=2, parallelize="trials", store=store,
         )
-        assert store.stats.hits == 2
+        assert store.stats_for("trial").hits == 2
         assert fresh == resumed
         assert fresh == run_trials(dataset, "fosc", "labels", 0.1, 2, config=TINY, random_state=3)
 
@@ -273,7 +275,7 @@ class TestDriverIntegration:
     def test_comparison_table_resumes_through_store(self, tmp_path):
         store = ArtifactStore(tmp_path / "store")
         first = comparison_table("fosc", "labels", 0.1, config=TINY, store=store)
-        assert store.stats.misses > 0 and store.stats.hits == 0
+        assert store.stats.misses > 0 and store.stats_for("trial").hits == 0
         store.reset_stats()
         second = comparison_table("fosc", "labels", 0.1, config=TINY, store=store)
         assert store.stats.misses == 0 and store.stats.hits > 0
@@ -283,7 +285,7 @@ class TestDriverIntegration:
     def test_ablation_resumes_through_store(self, tmp_path, dataset):
         store = ArtifactStore(tmp_path / "store")
         first = fold_count_ablation(dataset, fold_counts=(2, 3), config=TINY, store=store)
-        assert store.stats.writes == 1
+        assert store.stats_for("ablation").writes == 1
         second = fold_count_ablation(dataset, fold_counts=(2, 3), config=TINY, store=store)
-        assert store.stats.hits == 1
+        assert store.stats_for("ablation").hits == 1
         assert first.measurements == second.measurements

@@ -56,6 +56,7 @@ class TestLoadBenchPanels:
         assert "BENCH_kernels.json" in titles
         assert "BENCH_scale.json" in titles
         assert "BENCH_fleet.json" in titles
+        assert "BENCH_online.json" in titles
         for panel in panels:
             assert panel["rows"], panel["title"]
             for _label, value, _floor in panel["rows"]:
@@ -66,6 +67,14 @@ class TestLoadBenchPanels:
         (fleet,) = [p for p in panels if "BENCH_fleet.json" in p["title"]]
         floors = {label: floor for label, _value, floor in fleet["rows"]}
         assert any(floor is not None for floor in floors.values())
+
+    def test_online_panel_has_per_delta_rows_and_the_speedup_floor(self):
+        panels = load_bench_panels(REPO_ROOT)
+        (online,) = [p for p in panels if "BENCH_online.json" in p["title"]]
+        labels = [label for label, _value, _floor in online["rows"]]
+        assert any(label.startswith("delta ") for label in labels)
+        assert labels[-1] == "steady-state"
+        assert online["rows"][-1][2] is not None  # the committed 5.0x floor
 
     def test_empty_dir_means_no_panels(self, tmp_path):
         assert load_bench_panels(tmp_path) == []

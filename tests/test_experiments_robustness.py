@@ -85,14 +85,14 @@ class TestOracleThreading:
             dataset, "fosc", "labels", 0.2, config=TINY, random_state=7,
             store=store, oracle=NoisyOracle(flip_probability=0.2),
         )
-        assert store.stats.hits == 0
+        assert store.stats_for("trial").hits == 0
         assert store.count("trial") == 2  # both specs cached side by side
         store.reset_stats()
         run_trial(
             dataset, "fosc", "labels", 0.2, config=TINY, random_state=7,
             store=store, oracle=NoisyOracle(flip_probability=0.1),
         )
-        assert store.stats.hits == 1  # the original spec still hits
+        assert store.stats_for("trial").hits == 1  # the original spec still hits
 
     def test_run_trials_oracle_resume_is_bit_identical(self, tmp_path, dataset):
         oracle = NoisyOracle(flip_probability=0.2)
@@ -216,7 +216,14 @@ class TestRobustnessPipelineKind:
     def test_robustness_run_resumes_from_cache(self, tmp_path):
         spec = self._spec(tmp_path)
         fresh = run_pipeline(spec)
-        assert fresh.stats["hits"] == 0 and fresh.stats["misses"] > 0
+        # A fresh run may legitimately reuse "structure" artifacts across
+        # its own trials; every other kind must be computed from scratch.
+        reused = {
+            kind: counters["hits"]
+            for kind, counters in fresh.stats["by_kind"].items()
+            if kind != "structure" and counters["hits"]
+        }
+        assert not reused and fresh.stats["misses"] > 0
         resumed = run_pipeline(spec)
         assert resumed.stats["misses"] == 0 and resumed.stats["hits"] > 0
         assert resumed.summary == fresh.summary
