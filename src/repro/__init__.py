@@ -74,7 +74,7 @@ from repro.datasets import (
     get_dataset_collection,
 )
 
-__version__ = "0.9.0"
+__version__ = "0.10.0"
 
 __all__ = [
     "__version__",

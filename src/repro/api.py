@@ -22,6 +22,7 @@ identical requests are served from cached trials.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Mapping
@@ -129,6 +130,15 @@ def run_pipeline(
     if artifacts_root is not None:
         spec = spec.with_overrides(artifacts_root=Path(artifacts_root))
     if execution is not None:
+        if execution.metric is not None and spec.config.metric == "precomputed":
+            # The matrix-backed data set admits no other metric.
+            raise SpecError(
+                "run",
+                [
+                    "execution.metric: cannot override the metric of a precomputed"
+                    f" pipeline with {execution.metric!r}"
+                ],
+            )
         spec = spec.with_overrides(
             config=spec.config.with_execution(
                 backend=execution.backend,
@@ -136,6 +146,7 @@ def run_pipeline(
                 distance_backend=execution.distance_backend,
                 epsilon=execution.epsilon,
                 k_neighbors=execution.k_neighbors,
+                metric=execution.metric,
             )
         )
     result = _run_pipeline_spec(spec, store=store, write_reports=write_reports)
@@ -200,6 +211,22 @@ class SelectionRequest:
             problems.append(
                 f"select.execution: must be an ExecutionSpec, got {self.execution!r}"
             )
+        elif self.execution.metric is not None:
+            # Selection requests name registry data sets, so the metric
+            # rides on the execution spec; reject the combinations that
+            # would otherwise traceback inside the trial loop.
+            metric = self.execution.metric
+            if metric == "precomputed":
+                problems.append(
+                    'select.execution.metric: "precomputed" needs the matrix itself;'
+                    " run a pipeline with a [dataset] path instead"
+                )
+            elif metric != "euclidean" and self.algorithm == "mpck":
+                problems.append(
+                    f'select.execution.metric: algorithm = "mpck" learns per-cluster'
+                    f" Euclidean metrics and cannot run under metric = {metric!r};"
+                    ' use algorithm = "fosc"'
+                )
         if problems:
             raise SpecError("select", problems)
 
@@ -292,9 +319,12 @@ def select_parameter(
         backend=request.execution.backend,
         n_jobs=request.execution.n_jobs,
         distance_backend=request.execution.distance_backend,
+        metric=request.execution.metric,
     )
-    dataset = get_dataset(request.dataset, random_state=config.seed)
-    estimator = algorithm_factory(request.algorithm, config, random_state=config.seed)
+    dataset = get_dataset(request.dataset, random_state=config.seed, metric=config.metric)
+    estimator = algorithm_factory(
+        request.algorithm, config, random_state=config.seed, metric=dataset.metric
+    )
     trials = run_trials(
         dataset,
         request.algorithm,
@@ -366,9 +396,22 @@ def fit(
     config = QUICK_CONFIG.with_overrides(seed=seed, n_folds=n_folds)
     if isinstance(dataset, str):
         dataset = get_dataset(dataset, random_state=seed)
+    execution = execution if execution is not None else ExecutionSpec()
+    if execution.metric is None and dataset.metric != "euclidean":
+        # A cosine/precomputed data set keeps its own metric unless the
+        # caller overrides it explicitly.
+        execution = dataclasses.replace(execution, metric=dataset.metric)
+    if execution.metric not in (None, "euclidean") and algorithm == "mpck":
+        raise SpecError(
+            "fit",
+            [
+                'fit.algorithm: "mpck" learns per-cluster Euclidean metrics and cannot'
+                f" run under metric = {execution.metric!r}; use algorithm = \"fosc\""
+            ],
+        )
     rng = check_random_state(seed)
     side = make_side_information(dataset, scenario, amount, random_state=rng)
-    estimator = algorithm_factory(algorithm, config, random_state=rng)
+    estimator = algorithm_factory(algorithm, config, random_state=rng, metric=dataset.metric)
     values = parameter_values_for(algorithm, dataset, config)
     search = CVCP(
         estimator,
@@ -376,7 +419,7 @@ def fit(
         n_folds=n_folds,
         refit=True,
         random_state=rng,
-        execution=execution if execution is not None else ExecutionSpec(),
+        execution=execution,
     )
     if scenario == "labels":
         search.fit(dataset.X, labeled_objects=side.labeled_objects)

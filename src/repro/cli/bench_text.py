@@ -1,0 +1,362 @@
+"""Sparse text-workload benchmark + regression gate for the metric stack.
+
+``repro bench text`` measures what the CSR cosine kernels and the
+precomputed-metric path cost on a planted-topic TF-IDF corpus
+(:func:`repro.datasets.text.make_text_blobs`):
+
+* **parity first** — before any timing counts, the record asserts that
+  the three exact distance tiers (dense, blockwise, memmap) are
+  bit-identical on the sparse cosine matrix, that serial and process
+  executors produce bit-identical CVCP trials on the sparse data set,
+  and that ``metric = "precomputed"`` fed the cosine distance matrix
+  reproduces the cosine labels exactly — a fast wrong answer is not a
+  speedup;
+* **quality** — FOSC-OPTICSDend under cosine must recover the planted
+  topics (ARI floored in the committed baseline);
+* **wall-clock** — the CSR cosine kernel, the same computation on the
+  densified array, and the precomputed pass-through;
+* **memory** — tracemalloc peaks of the CSR kernel vs the densified
+  run; the ratio is floored so a silent densify inside the sparse path
+  (the exact regression the CSR support exists to prevent) breaks CI.
+
+The fresh record is gated against the committed ``BENCH_text.json``
+baseline by :func:`compare_records`: parity, the ARI floor and the
+memory ratio are hard requirements (the floors travel inside the
+baseline), and the absolute wall-clocks get a generous
+``--max-slowdown`` budget because CI runners share cores.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+import tracemalloc
+from pathlib import Path
+
+from repro.utils.specs import SpecError, check_spec_mapping
+
+__all__ = [
+    "BASELINE_SECTION",
+    "DEFAULT_FLOORS",
+    "N_DOCUMENTS",
+    "ROUNDS",
+    "VOCABULARY_SIZE",
+    "compare_records",
+    "format_text_table",
+    "from_spec",
+    "load_json",
+    "normalize_record",
+    "run_bench_text",
+    "to_spec",
+]
+
+#: Section of the committed baseline JSON holding the text record.
+BASELINE_SECTION = "bench_text"
+
+#: Corpus shape: enough documents for a stable ARI, a vocabulary wide
+#: enough that the densified array dwarfs its CSR form (so the memory
+#: gate has signal), small enough for seconds-scale CI runs.
+N_DOCUMENTS = 256
+N_TOPICS = 4
+VOCABULARY_SIZE = 2048
+WORDS_PER_DOCUMENT = 120
+
+#: Timing repetitions per kernel (the minimum is recorded).
+ROUNDS = 3
+
+#: Machine-independent floors; committed inside the baseline record so a
+#: baseline refresh can tighten them without touching code.
+DEFAULT_FLOORS = {"ari": 0.75, "memory_ratio": 1.5}
+
+
+def _bench_config():
+    """A small CVCP grid over the text corpus (two MinPts values, 3 folds)."""
+    from repro.experiments.config import ExperimentConfig
+
+    return ExperimentConfig(
+        n_trials=1,
+        n_folds=3,
+        minpts_range=(3, 6),
+        datasets=("Text",),
+        seed=20140324,
+    )
+
+
+def _timed(function, *, rounds: int) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        tick = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - tick)
+    return best
+
+
+def _peak_bytes(function) -> int:
+    tracemalloc.start()
+    try:
+        function()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return int(peak)
+
+
+def run_bench_text(*, rounds: int = ROUNDS) -> dict:
+    """Run the sparse text-workload benchmark and return a record.
+
+    Raises ``RuntimeError`` if any parity assertion fails — timings of a
+    diverging kernel are meaningless and must never land in a baseline.
+    """
+    import numpy as np
+
+    from repro.core.distance_backend import EXACT_DISTANCE_BACKENDS
+    from repro.clustering.distances import pairwise_distances
+    from repro.datasets.text import make_text_blobs
+    from repro.evaluation import adjusted_rand_index
+    from repro.experiments.runner import algorithm_factory, run_trials
+    from repro.utils.cache import clear_distance_cache
+
+    config = _bench_config()
+    dataset = make_text_blobs(
+        n_documents=N_DOCUMENTS,
+        n_topics=N_TOPICS,
+        vocabulary_size=VOCABULARY_SIZE,
+        words_per_document=WORDS_PER_DOCUMENT,
+        random_state=config.seed,
+    )
+    X_csr = dataset.X
+    X_dense = np.ascontiguousarray(X_csr.toarray())
+
+    # --- Parity, asserted before any timing -----------------------------
+    per_tier = {}
+    for tier in EXACT_DISTANCE_BACKENDS:
+        clear_distance_cache()
+        trial_config = config.with_execution(distance_backend=tier)
+        per_tier[tier] = run_trials(
+            dataset, "fosc", "labels", 0.10, 1,
+            config=trial_config, random_state=trial_config.seed,
+        )[0].to_dict()
+    tiers_identical = all(
+        per_tier[tier] == per_tier["dense"] for tier in EXACT_DISTANCE_BACKENDS
+    )
+
+    per_executor = {}
+    for backend in ("serial", "process"):
+        clear_distance_cache()
+        trial_config = config.with_execution(backend=backend, n_jobs=2)
+        per_executor[backend] = run_trials(
+            dataset, "fosc", "labels", 0.10, 1,
+            config=trial_config, random_state=trial_config.seed,
+        )[0].to_dict()
+    executors_identical = per_executor["serial"] == per_executor["process"]
+
+    clear_distance_cache()
+    distances = pairwise_distances(X_csr, metric="cosine")
+    dense_distances = pairwise_distances(X_dense, metric="cosine")
+    estimator = algorithm_factory("fosc", config, random_state=config.seed, metric="cosine")
+    cosine_labels = estimator.clone(min_pts=5).fit(X_csr).labels_
+    precomputed_estimator = algorithm_factory(
+        "fosc", config, random_state=config.seed, metric="precomputed"
+    )
+    precomputed_labels = precomputed_estimator.clone(min_pts=5).fit(distances).labels_
+    precomputed_identical = bool(np.array_equal(cosine_labels, precomputed_labels))
+    sparse_dense_close = bool(np.allclose(distances, dense_distances, atol=1e-10))
+
+    parity = {
+        "tiers_identical": bool(tiers_identical),
+        "executors_identical": bool(executors_identical),
+        "precomputed_identical": precomputed_identical,
+        "sparse_dense_close": sparse_dense_close,
+    }
+    if not all(parity.values()):
+        failed = ", ".join(name for name, ok in parity.items() if not ok)
+        raise RuntimeError(f"text benchmark parity failed before timing: {failed}")
+
+    ari = float(adjusted_rand_index(dataset.y, cosine_labels))
+
+    # --- Wall-clock -----------------------------------------------------
+    timings = {
+        "cosine_csr_s": _timed(
+            lambda: pairwise_distances(X_csr, metric="cosine"), rounds=rounds
+        ),
+        "cosine_dense_s": _timed(
+            lambda: pairwise_distances(X_dense, metric="cosine"), rounds=rounds
+        ),
+        "precomputed_s": _timed(
+            lambda: pairwise_distances(distances, metric="precomputed"), rounds=rounds
+        ),
+    }
+
+    # --- Memory ---------------------------------------------------------
+    csr_peak = _peak_bytes(lambda: pairwise_distances(X_csr, metric="cosine"))
+    dense_peak = _peak_bytes(
+        lambda: pairwise_distances(np.asarray(X_csr.todense()), metric="cosine")
+    )
+    clear_distance_cache()
+
+    return {
+        "kind": "repro-bench-text",
+        "machine": {"cpu_count": os.cpu_count(), "python": platform.python_version()},
+        "settings": {
+            "n_documents": int(N_DOCUMENTS),
+            "n_topics": int(N_TOPICS),
+            "vocabulary_size": int(VOCABULARY_SIZE),
+            "words_per_document": int(WORDS_PER_DOCUMENT),
+            "density": float(dataset.meta["density"]),
+            "minpts_range": [int(value) for value in config.minpts_range],
+            "n_folds": int(config.n_folds),
+            "rounds": int(rounds),
+        },
+        "parity": parity,
+        "quality": {"ari": ari},
+        "timings": timings,
+        "memory": {
+            "csr_peak_bytes": csr_peak,
+            "dense_peak_bytes": dense_peak,
+            "ratio": dense_peak / csr_peak if csr_peak else 0.0,
+        },
+        "floors": dict(DEFAULT_FLOORS),
+    }
+
+
+def normalize_record(record: dict) -> dict:
+    """Validate the shape of a fresh text record; returns it unchanged.
+
+    Raises
+    ------
+    ValueError
+        If the record is not a ``repro bench text --json`` product.
+    """
+    if record.get("kind") != "repro-bench-text":
+        raise ValueError(
+            "not a text benchmark record (expected kind 'repro-bench-text', "
+            f"got {record.get('kind')!r})"
+        )
+    parity = record.get("parity")
+    required_parity = {
+        "tiers_identical", "executors_identical", "precomputed_identical",
+        "sparse_dense_close",
+    }
+    if not isinstance(parity, dict) or not required_parity <= set(parity):
+        raise ValueError(
+            "text record is missing parity." + "/parity.".join(sorted(required_parity))
+        )
+    if not isinstance(record.get("quality"), dict) or "ari" not in record["quality"]:
+        raise ValueError("text record is missing quality.ari")
+    timings = record.get("timings")
+    required_timings = {"cosine_csr_s", "cosine_dense_s", "precomputed_s"}
+    if not isinstance(timings, dict) or not required_timings <= set(timings):
+        raise ValueError(
+            "text record is missing timings." + "/timings.".join(sorted(required_timings))
+        )
+    memory = record.get("memory")
+    if not isinstance(memory, dict) or not {"csr_peak_bytes", "dense_peak_bytes", "ratio"} <= set(memory):
+        raise ValueError("text record is missing memory.csr_peak_bytes/dense_peak_bytes/ratio")
+    return record
+
+
+def to_spec(record: dict) -> dict:
+    """The benchmark record as a JSON-ready mapping (records already are specs)."""
+    return dict(record)
+
+
+def from_spec(spec: object) -> dict:
+    """Validate a mapping back into a text benchmark record."""
+    checked = check_spec_mapping(spec, "text bench record")
+    try:
+        return normalize_record(dict(checked))
+    except ValueError as exc:
+        raise SpecError("text bench record", [str(exc)]) from exc
+
+
+def compare_records(fresh: dict, baseline: dict, *, max_slowdown: float = 1.0) -> list[str]:
+    """Regression problems of a fresh text record against the baseline.
+
+    Gates, in order of importance: the parity flags (bit-identity across
+    tiers/executors and the cosine/precomputed agreement are the metric
+    stack's core contract), the ARI and memory-ratio floors committed in
+    the baseline, and a generous wall-clock budget vs the baseline.
+    """
+    section = baseline.get(BASELINE_SECTION)
+    if not isinstance(section, dict):
+        return [f"baseline is missing the {BASELINE_SECTION!r} section"]
+    floors = section.get("floors", DEFAULT_FLOORS)
+
+    problems: list[str] = []
+    parity = fresh.get("parity", {})
+    for flag, meaning in (
+        ("tiers_identical", "the exact distance tiers diverged on sparse cosine"),
+        ("executors_identical", "serial and process executors diverged on the text trial"),
+        ("precomputed_identical", "metric='precomputed' no longer reproduces the cosine labels"),
+        ("sparse_dense_close", "the CSR cosine kernel drifted from the dense kernel"),
+    ):
+        if not parity.get(flag, False):
+            problems.append(f"parity.{flag} is false ({meaning})")
+
+    ari_floor = floors.get("ari")
+    ari = fresh.get("quality", {}).get("ari", 0.0)
+    if ari_floor is not None and ari < ari_floor:
+        problems.append(
+            f"planted-topic ARI {ari:.3f} is below the {ari_floor:.2f} floor "
+            "(cosine FOSC no longer recovers the topics)"
+        )
+
+    ratio_floor = floors.get("memory_ratio")
+    ratio = fresh.get("memory", {}).get("ratio", 0.0)
+    if ratio_floor is not None and ratio < ratio_floor:
+        problems.append(
+            f"dense/CSR peak-memory ratio {ratio:.2f} is below the {ratio_floor:.2f} floor "
+            "(the sparse cosine path is densifying its input)"
+        )
+
+    for key in ("cosine_csr_s", "precomputed_s"):
+        base_wall = section.get("timings", {}).get(key)
+        fresh_wall = fresh.get("timings", {}).get(key)
+        if base_wall and fresh_wall:
+            slowdown = fresh_wall / base_wall - 1.0
+            if slowdown > max_slowdown:
+                problems.append(
+                    f"{key} {fresh_wall:.4f}s is {slowdown:+.0%} vs baseline "
+                    f"{base_wall:.4f}s (allowed {max_slowdown:+.0%})"
+                )
+    return problems
+
+
+def load_json(path: str | Path) -> dict:
+    """Load a text benchmark record or baseline from disk."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def format_text_table(fresh: dict, baseline: dict | None = None) -> str:
+    """Fixed-width summary of a fresh record (optionally vs the baseline)."""
+    floors: dict = DEFAULT_FLOORS
+    if baseline is not None:
+        floors = baseline.get(BASELINE_SECTION, {}).get("floors", DEFAULT_FLOORS)
+    parity = fresh.get("parity", {})
+    timings = fresh.get("timings", {})
+    memory = fresh.get("memory", {})
+    lines = [
+        f"{'check':<28} {'value':>12}",
+    ]
+    for flag in (
+        "tiers_identical", "executors_identical", "precomputed_identical",
+        "sparse_dense_close",
+    ):
+        lines.append(f"{flag:<28} {str(bool(parity.get(flag, False))).lower():>12}")
+    lines += [
+        "",
+        f"{'timing':<28} {'seconds':>12}",
+        f"{'cosine (CSR)':<28} {timings.get('cosine_csr_s', 0.0):>12.4f}",
+        f"{'cosine (densified)':<28} {timings.get('cosine_dense_s', 0.0):>12.4f}",
+        f"{'precomputed pass-through':<28} {timings.get('precomputed_s', 0.0):>12.4f}",
+        "",
+        f"{'metric':<28} {'value':>12} {'floor':>8}",
+        f"{'planted-topic ARI':<28} {fresh.get('quality', {}).get('ari', 0.0):>12.3f} "
+        f"{floors.get('ari', 0.0):>8.2f}",
+        f"{'dense/CSR peak-memory ratio':<28} {memory.get('ratio', 0.0):>12.2f} "
+        f"{floors.get('memory_ratio', 0.0):>8.2f}",
+    ]
+    return "\n".join(lines)

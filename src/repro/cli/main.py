@@ -16,6 +16,7 @@ from repro.cli import bench_kernels as bench_kernels_module
 from repro.cli import bench_scale as bench_scale_module
 from repro.cli import bench_online as bench_online_module
 from repro.cli import bench_serve as bench_serve_module
+from repro.cli import bench_text as bench_text_module
 from repro.core.distance_backend import DISTANCE_BACKENDS
 from repro.core.executor import BACKENDS, ExecutionSpec
 from repro.datasets.registry import DATASET_NAMES, get_dataset
@@ -578,6 +579,58 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    text_bench_parser = bench_subparsers.add_parser(
+        "text",
+        help="benchmark the sparse text workload (CSR cosine, precomputed, ARI, memory)",
+        description=(
+            "Benchmark the metric stack on a planted-topic TF-IDF corpus: the CSR "
+            "cosine kernel vs its densified run (wall-clock and tracemalloc peaks), "
+            "the precomputed pass-through, and the planted-topic ARI of cosine "
+            "FOSC-OPTICSDend.  Distance-tier, executor and cosine/precomputed "
+            "parity are asserted bit-identical before any timing counts.  With "
+            "--baseline, gates the record against the committed BENCH_text.json "
+            "floors (exit 1 on a parity break, a broken floor, or a regression)."
+        ),
+    )
+    # Same dest-prefix discipline as the sibling sub-benches: all dests are
+    # prefixed (text_*) so the parent ``bench`` parser's shared-flag
+    # defaults cannot clobber them.
+    text_bench_parser.add_argument(
+        "--rounds",
+        dest="text_rounds",
+        type=int,
+        default=bench_text_module.ROUNDS,
+        help=f"timing repetitions per kernel (default: {bench_text_module.ROUNDS})",
+    )
+    text_bench_parser.add_argument(
+        "--json",
+        dest="text_json",
+        metavar="PATH",
+        default=None,
+        help="write the fresh record to PATH",
+    )
+    text_bench_parser.add_argument(
+        "--compare",
+        dest="text_compare",
+        metavar="FRESH",
+        default=None,
+        help="load a fresh text record instead of running the benchmark",
+    )
+    text_bench_parser.add_argument(
+        "--baseline",
+        dest="text_baseline",
+        metavar="PATH",
+        default=None,
+        help="baseline JSON to gate against (e.g. BENCH_text.json)",
+    )
+    text_bench_parser.add_argument(
+        "--max-slowdown",
+        dest="text_max_slowdown",
+        type=float,
+        default=1.0,
+        help="allowed fractional wall-clock slowdown vs baseline (default: 1.0)",
+    )
+
     datasets_parser = subparsers.add_parser("datasets", help="inspect the data-set registry")
     datasets_subparsers = datasets_parser.add_subparsers(dest="datasets_command", required=True)
     datasets_subparsers.add_parser("list", help="list registered data sets with their shapes")
@@ -627,6 +680,15 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
         help=(
             "neighbour-graph out-degree for --distance-backend neighbors "
             "(default: REPRO_NEIGHBOR_K, else 32)"
+        ),
+    )
+    parser.add_argument(
+        "--metric",
+        choices=("euclidean", "cosine"),
+        help=(
+            "override the distance metric every data set is evaluated under "
+            '(non-Euclidean trials key their own artifacts; metric = "precomputed" '
+            "needs the matrix itself — use a [dataset] path in the config)"
         ),
     )
     parser.add_argument(
@@ -710,11 +772,17 @@ def _command_run(args: argparse.Namespace, *, reports_only: bool = False) -> int
                 distance_backend=args.distance_backend,
                 epsilon=args.epsilon,
                 k_neighbors=args.k_neighbors,
+                metric=args.metric,
             )
         except SpecError as exc:
             print(exc, file=sys.stderr)
             return 2
-        result = api.run_pipeline(spec, store=store, execution=execution)
+        try:
+            result = api.run_pipeline(spec, store=store, execution=execution)
+        except SpecError as exc:
+            # e.g. --metric clashing with the spec's backend or data set
+            print(exc, file=sys.stderr)
+            return 2
 
     if not quiet:
         print(result.report_text)
@@ -1106,11 +1174,60 @@ def _command_bench_online(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_bench_text(args: argparse.Namespace) -> int:
+    if args.text_compare:
+        if args.text_json:
+            print(
+                "--json records a live benchmark run and cannot be combined with --compare "
+                "(the fresh record already exists on disk)",
+                file=sys.stderr,
+            )
+            return 2
+        record = bench_text_module.load_json(args.text_compare)
+    else:
+        try:
+            record = bench_text_module.run_bench_text(rounds=args.text_rounds)
+        except (RuntimeError, ValueError) as exc:
+            print(exc, file=sys.stderr)
+            return 2 if isinstance(exc, ValueError) else 1
+        if args.text_json:
+            Path(args.text_json).write_text(
+                json.dumps(record, sort_keys=True, indent=2) + "\n",
+                encoding="utf-8",
+            )
+            print(f"wrote {args.text_json}")
+
+    try:
+        fresh = bench_text_module.normalize_record(record)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    baseline = bench_text_module.load_json(args.text_baseline) if args.text_baseline else None
+    print(bench_text_module.format_text_table(fresh, baseline))
+
+    if baseline is not None:
+        problems = bench_text_module.compare_records(
+            fresh, baseline, max_slowdown=args.text_max_slowdown
+        )
+        if problems:
+            print("text benchmark regression detected:", file=sys.stderr)
+            for problem in problems:
+                print(f"  - {problem}", file=sys.stderr)
+            return 1
+        print(
+            "text benchmark within baseline (parity bit-identical, floors met, "
+            f"max slowdown {args.text_max_slowdown:.0%})"
+        )
+    return 0
+
+
 def _command_bench(args: argparse.Namespace) -> int:
     if getattr(args, "bench_target", None) == "serve":
         return _command_bench_serve(args)
     if getattr(args, "bench_target", None) == "online":
         return _command_bench_online(args)
+    if getattr(args, "bench_target", None) == "text":
+        return _command_bench_text(args)
     if getattr(args, "bench_target", None) == "kernels":
         return _command_bench_kernels(args)
     if getattr(args, "bench_target", None) == "scale":
@@ -1172,8 +1289,11 @@ def _command_datasets_list() -> int:
         dataset = get_dataset(name, random_state=0)
         counts = np.unique(dataset.y, return_counts=True)[1]
         class_sizes = "/".join(str(int(count)) for count in counts)
-        spread = f"{dataset.X.std(axis=0).min():.2f}..{dataset.X.std(axis=0).max():.2f}"
+        features = dataset.X.toarray() if dataset.is_sparse else dataset.X
+        spread = f"{features.std(axis=0).min():.2f}..{features.std(axis=0).max():.2f}"
         note = "collection of 100 (paper)" if name == "ALOI" else "single"
+        if dataset.is_sparse:
+            note += " (sparse)"
         rows.append(
             [
                 name,
@@ -1181,11 +1301,15 @@ def _command_datasets_list() -> int:
                 dataset.n_features,
                 dataset.n_classes,
                 class_sizes,
+                dataset.metric,
                 spread,
                 note,
             ]
         )
-    headers = ["name", "n_samples", "n_features", "n_classes", "class_sizes", "feature_std", "kind"]
+    headers = [
+        "name", "n_samples", "n_features", "n_classes", "class_sizes", "metric",
+        "feature_std", "kind",
+    ]
     print(format_table(headers, rows, title="Registered data sets"))
     return 0
 

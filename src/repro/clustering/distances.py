@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Callable
 
 import numpy as np
+from scipy import sparse
 
 from repro.utils.validation import check_array_2d
 
@@ -116,6 +117,133 @@ def _manhattan_panel(rows: np.ndarray, Y: np.ndarray) -> np.ndarray:
     return np.abs(rows[:, None, :] - Y[None, :, :]).sum(axis=2)
 
 
+def _sparse_squared_norms(X: "sparse.spmatrix") -> np.ndarray:
+    return np.asarray(X.multiply(X).sum(axis=1), dtype=np.float64).ravel()
+
+
+def _sparse_euclidean(
+    X: "sparse.csr_matrix",
+    out: np.ndarray,
+    *,
+    squared: bool,
+    block: int,
+    panel_done: Callable[[int, int], None] | None,
+) -> np.ndarray:
+    """Blocked Euclidean distances over CSR rows — sparse dots, no densify.
+
+    The only dense temporaries are the ``(block, n)`` output panels; the
+    ``(n, d)`` operand stays sparse throughout.
+    """
+    n = X.shape[0]
+    sq = _sparse_squared_norms(X)
+    for start in range(0, n, block):
+        stop = min(start + block, n)
+        cross = (X[start:stop] @ X.T).toarray()
+        panel = sq[start:stop][:, None] + sq[None, :] - 2.0 * cross
+        np.maximum(panel, 0.0, out=panel)
+        panel[np.arange(stop - start), np.arange(start, stop)] = 0.0
+        if not squared:
+            np.sqrt(panel, out=panel)
+        out[start:stop] = panel
+        if panel_done is not None:
+            panel_done(start, stop)
+    return out
+
+
+def _sparse_cosine(
+    X: "sparse.csr_matrix",
+    out: np.ndarray,
+    *,
+    block: int,
+    panel_done: Callable[[int, int], None] | None,
+) -> np.ndarray:
+    """Blocked cosine distances over CSR rows — normalise-then-dot, sparse."""
+    n = X.shape[0]
+    norms = np.sqrt(_sparse_squared_norms(X))
+    norms = np.where(norms == 0.0, 1.0, norms)
+    # Row scaling keeps the CSR structure: D^-1 @ X with a sparse diagonal.
+    normalised = sparse.diags(1.0 / norms).dot(X).tocsr()
+    for start in range(0, n, block):
+        stop = min(start + block, n)
+        similarity = np.clip(
+            (normalised[start:stop] @ normalised.T).toarray(), -1.0, 1.0
+        )
+        panel = 1.0 - similarity
+        panel[np.arange(stop - start), np.arange(start, stop)] = 0.0
+        out[start:stop] = panel
+        if panel_done is not None:
+            panel_done(start, stop)
+    return out
+
+
+def precomputed_distance_problems(matrix: object, *, name: str = "X") -> list[str]:
+    """Validation problems of a user-supplied precomputed distance matrix.
+
+    Returns human-readable problem strings (empty list when valid) so the
+    config/serve layers can surface every defect at once; the kernel entry
+    point (:func:`pairwise_distances`) raises on the joined list instead.
+    A diagonal holding the global *maximum* is flagged as a
+    similarity-matrix orientation mistake with a pointer to
+    :func:`similarity_to_distance`.
+    """
+    if sparse.issparse(matrix):
+        return [
+            f"{name} must be a dense distance matrix for metric='precomputed'; "
+            "convert sparse similarities with similarity_to_distance() first"
+        ]
+    array = np.asarray(matrix, dtype=np.float64)
+    if array.ndim != 2 or array.shape[0] != array.shape[1]:
+        return [f"{name} must be a square (n, n) matrix, got shape {array.shape}"]
+    if array.shape[0] == 0:
+        return [f"{name} must not be empty, got shape {array.shape}"]
+    problems: list[str] = []
+    if np.isnan(array).any():
+        problems.append(f"{name} contains NaN entries")
+        return problems
+    if (array < 0.0).any():
+        problems.append(f"{name} contains negative entries (distances must be >= 0)")
+    if not np.array_equal(array, array.T):
+        problems.append(f"{name} is not symmetric")
+    diagonal = np.diagonal(array)
+    if (diagonal != 0.0).any():
+        finite = array[np.isfinite(array)]
+        if finite.size and np.all(diagonal == finite.max()) and diagonal[0] > 0.0:
+            problems.append(
+                f"{name} looks like a *similarity* matrix (the diagonal holds the "
+                "global maximum); convert it with similarity_to_distance() or set "
+                "form = 'similarity'"
+            )
+        else:
+            problems.append(f"{name} has a non-zero diagonal (self-distance must be 0)")
+    return problems
+
+
+def validate_precomputed_distances(matrix: object, *, name: str = "X") -> np.ndarray:
+    """Validate and return a precomputed ``(n, n)`` float64 distance matrix."""
+    problems = precomputed_distance_problems(matrix, name=name)
+    if problems:
+        raise ValueError("; ".join(problems))
+    return np.asarray(matrix, dtype=np.float64)
+
+
+def similarity_to_distance(similarity: np.ndarray) -> np.ndarray:
+    """Convert a symmetric similarity matrix to a distance matrix.
+
+    Uses ``D = max(S) - S`` (the standard affinity flip), then zeroes the
+    diagonal so self-distance is exactly 0 regardless of per-row maxima.
+    """
+    S = np.asarray(similarity, dtype=np.float64)
+    if S.ndim != 2 or S.shape[0] != S.shape[1]:
+        raise ValueError(f"similarity must be a square (n, n) matrix, got shape {S.shape}")
+    if np.isnan(S).any():
+        raise ValueError("similarity contains NaN entries")
+    if not np.array_equal(S, S.T):
+        raise ValueError("similarity is not symmetric")
+    distance = S.max() - S
+    np.fill_diagonal(distance, 0.0)
+    return distance
+
+
 def pairwise_distances(
     X: np.ndarray,
     metric: str = "euclidean",
@@ -129,13 +257,17 @@ def pairwise_distances(
     Parameters
     ----------
     X:
-        ``(n, d)`` data matrix.  Accepted as-is: C-contiguous ``float64``
-        input is never copied, non-contiguous views are consumed without a
-        hidden contiguous copy, and other dtypes (e.g. ``float32``) are
-        upcast exactly once.
+        ``(n, d)`` data matrix — dense, or scipy CSR for the sparse metrics
+        (:data:`SPARSE_METRICS`; the operand is never densified, only the
+        ``(block, n)`` output panels are dense).  Dense input is accepted
+        as-is: C-contiguous ``float64`` input is never copied,
+        non-contiguous views are consumed without a hidden contiguous copy,
+        and other dtypes (e.g. ``float32``) are upcast exactly once.  For
+        ``metric="precomputed"`` ``X`` *is* the ``(n, n)`` distance matrix
+        (validated, see :func:`validate_precomputed_distances`).
     metric:
-        ``"euclidean"`` (default), ``"sqeuclidean"``, ``"manhattan"`` or
-        ``"cosine"``.
+        ``"euclidean"`` (default), ``"sqeuclidean"``, ``"manhattan"``,
+        ``"cosine"`` or ``"precomputed"``.
     out:
         Optional ``(n, n)`` float64 output to fill (RAM or ``np.memmap``).
     block_rows:
@@ -146,19 +278,49 @@ def pairwise_distances(
         Optional per-panel callback ``panel_done(start, stop)`` (see
         :func:`euclidean_distances`).
     """
+    block = _resolve_block_rows(block_rows)
+    if metric == "precomputed":
+        # Validated directly (not via check_array_2d): a precomputed matrix
+        # may legitimately contain +inf for unreachable pairs.
+        matrix = validate_precomputed_distances(X)
+        n = matrix.shape[0]
+        if out is None:
+            return matrix
+        if out.shape != (n, n):
+            raise ValueError(f"out must have shape {(n, n)}, got {out.shape}")
+        # Panel-copy so out-of-core consumers (memmap spill fill) see the
+        # same incremental panel_done stream as the computed metrics.
+        for start in range(0, n, block):
+            stop = min(start + block, n)
+            out[start:stop] = matrix[start:stop]
+            if panel_done is not None:
+                panel_done(start, stop)
+        return out
+    is_sparse = sparse.issparse(X)
+    if is_sparse and metric not in ("euclidean", "sqeuclidean", "cosine"):
+        raise ValueError(
+            f"sparse input supports metric 'euclidean', 'sqeuclidean' or "
+            f"'cosine', got {metric!r}"
+        )
     X = check_array_2d(X)
     n = X.shape[0]
-    block = _resolve_block_rows(block_rows)
     if out is None:
         out = np.empty((n, n), dtype=np.float64)
     elif out.shape != (n, n):
         raise ValueError(f"out must have shape {(n, n)}, got {out.shape}")
 
     if metric in ("euclidean", "sqeuclidean"):
+        if is_sparse:
+            return _sparse_euclidean(
+                X, out, squared=metric == "sqeuclidean", block=block,
+                panel_done=panel_done,
+            )
         return euclidean_distances(
             X, squared=metric == "sqeuclidean", out=out, block_rows=block,
             panel_done=panel_done,
         )
+    if metric == "cosine" and is_sparse:
+        return _sparse_cosine(X, out, block=block, panel_done=panel_done)
     if metric == "manhattan":
         for start in range(0, n, block):
             stop = min(start + block, n)
@@ -182,7 +344,14 @@ def pairwise_distances(
     raise ValueError(f"unknown metric {metric!r}")
 
 #: Metrics accepted by :func:`pairwise_distances`.
-PAIRWISE_METRICS = ("euclidean", "sqeuclidean", "manhattan", "cosine")
+PAIRWISE_METRICS = ("euclidean", "sqeuclidean", "manhattan", "cosine", "precomputed")
+
+#: Metrics accepted by the scipy CSR fast path (sparse dots, no densify).
+SPARSE_METRICS = ("euclidean", "sqeuclidean", "cosine")
+
+#: Metrics a ``[dataset]`` config table may select (the experiment surface;
+#: ``sqeuclidean``/``manhattan`` stay kernel-internal).
+DATASET_METRICS = ("euclidean", "cosine", "precomputed")
 
 
 def diagonal_mahalanobis_distances(

@@ -594,7 +594,7 @@ def build_tree_structure(
     # O(n²) mutual-reachability matrix) is dropped here so memoised
     # structures never hold whole matrices alive.
     return TreeStructure(
-        n_samples=int(np.asarray(X).shape[0]),
+        n_samples=int(np.asarray(hierarchy.core_distances_).shape[0]),
         min_pts=int(hierarchy.min_pts),
         min_cluster_size=int(hierarchy.min_cluster_size),
         metric=metric,
@@ -748,7 +748,7 @@ def structure_store_key(
     from repro.core.distance_backend import get_distance_backend
 
     key = {
-        "x": array_fingerprint(np.asarray(X)),
+        "x": array_fingerprint(X),
         "metric": str(metric),
         "min_pts": int(min_pts),
         "min_cluster_size": int(resolve_min_cluster_size(min_pts, min_cluster_size)),
@@ -794,7 +794,7 @@ def _structure_memo_key(
         # one token lets e.g. a memmap grid reuse a dense-warmed structure.
         tier = "exact"
     return (
-        array_fingerprint(np.asarray(X)),
+        array_fingerprint(X),
         str(metric),
         int(min_pts),
         int(resolve_min_cluster_size(min_pts, min_cluster_size)),

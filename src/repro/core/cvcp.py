@@ -295,6 +295,7 @@ class CVCP:
         )
         self.epsilon = execution.epsilon
         self.k_neighbors = execution.k_neighbors
+        self.metric = execution.metric
         self.artifact_store = artifact_store
         self.artifact_scope = artifact_scope
 
@@ -315,7 +316,14 @@ class CVCP:
         labels the oracle generates side information from (the oracle's
         scenario and amount were fixed at construction time).
         """
-        X = check_array_2d(X)
+        if self._effective_metric() == "precomputed":
+            # X *is* the distance matrix; validated directly because a
+            # legitimate precomputed matrix may contain +inf entries.
+            from repro.clustering.distances import validate_precomputed_distances
+
+            X = validate_precomputed_distances(X)
+        else:
+            X = check_array_2d(X)
         rng = check_random_state(self.random_state)
 
         if ground_truth is not None:
@@ -370,7 +378,7 @@ class CVCP:
                 multiprocessing.get_start_method() == "fork" or resolved == "memmap"
             ):
                 cached_pairwise_distances(
-                    X, self.estimator.metric, distance_backend=effective
+                    X, self._effective_metric(), distance_backend=effective
                 )
 
         data_key = array_fingerprint(X)
@@ -514,6 +522,12 @@ class CVCP:
             return self.distance_backend
         return self.estimator.get_params().get("distance_backend")
 
+    def _effective_metric(self) -> str:
+        """The metric grid cells run under: the CVCP override or the template's own."""
+        if self.metric is not None:
+            return self.metric
+        return self.estimator.get_params().get("metric", "euclidean")
+
     def _make_estimator(self, value: Any, seed: int) -> BaseClusterer:
         """Clone the template with the candidate value and a derived child seed."""
         overrides: dict[str, Any] = {self.parameter_name: value}
@@ -529,6 +543,8 @@ class CVCP:
             overrides["epsilon"] = self.epsilon
         if self.k_neighbors is not None and "k_neighbors" in params:
             overrides["k_neighbors"] = self.k_neighbors
+        if self.metric is not None and "metric" in params:
+            overrides["metric"] = self.metric
         return self.estimator.clone(**overrides)
 
     def _refit(

@@ -285,7 +285,10 @@ class MemmapBackend(DistanceBackend):
         os.replace(tmp, path)
 
     def pairwise(self, X: np.ndarray, metric: str = "euclidean") -> np.ndarray:
-        X = np.asarray(X)
+        from scipy import sparse
+
+        if not sparse.issparse(X):
+            X = np.asarray(X)
         n = X.shape[0]
         path = self.spill_path(X, metric)
         expected_bytes = n * n * np.dtype(np.float64).itemsize

@@ -67,6 +67,12 @@ class ExecutionSpec:
     (``None`` = consult ``REPRO_NEIGHBOR_EPSILON``/``REPRO_NEIGHBOR_K``)
     become part of the trial fingerprint so approximate results never
     shadow exact ones.
+
+    ``metric`` (``None`` = inherit the data set's own metric) overrides the
+    distance metric of every density-based fit; it conflicts with
+    ``distance_backend="neighbors"`` for anything but ``"euclidean"``
+    (the KD-tree is a metric-space index) and that conflict is reported as
+    a validation problem here rather than a late runtime error.
     """
 
     backend: str | None = None
@@ -74,6 +80,7 @@ class ExecutionSpec:
     distance_backend: str | None = None
     epsilon: float | None = None
     k_neighbors: int | None = None
+    metric: str | None = None
 
     def __post_init__(self) -> None:
         problems = []
@@ -112,6 +119,14 @@ class ExecutionSpec:
                 problems.append(
                     f"execution.k_neighbors: must be >= 1, got {self.k_neighbors!r}"
                 )
+        if self.metric is not None:
+            from repro.clustering.distances import DATASET_METRICS
+
+            if self.metric not in DATASET_METRICS:
+                problems.append(
+                    "execution.metric: must be one of "
+                    f"{', '.join(DATASET_METRICS)}; got {self.metric!r}"
+                )
         if (
             self.distance_backend is not None
             and self.distance_backend != "neighbors"
@@ -121,6 +136,16 @@ class ExecutionSpec:
                 "execution.epsilon/k_neighbors: only meaningful with "
                 f"distance_backend = \"neighbors\", but distance_backend is "
                 f"{self.distance_backend!r}"
+            )
+        if (
+            self.distance_backend == "neighbors"
+            and self.metric is not None
+            and self.metric != "euclidean"
+        ):
+            problems.append(
+                "execution.metric: distance_backend = \"neighbors\" supports "
+                f"metric = \"euclidean\" only (KD-tree index), got "
+                f"{self.metric!r}; use an exact distance backend for this metric"
             )
         if problems:
             raise SpecError("execution", problems)
@@ -138,6 +163,8 @@ class ExecutionSpec:
             spec["epsilon"] = self.epsilon
         if self.k_neighbors is not None:
             spec["k_neighbors"] = self.k_neighbors
+        if self.metric is not None:
+            spec["metric"] = self.metric
         return spec
 
     @classmethod
@@ -147,7 +174,7 @@ class ExecutionSpec:
         Collects every problem before raising :class:`SpecError`.
         """
         spec = check_spec_mapping(spec, "execution")
-        known = ("backend", "n_jobs", "distance_backend", "epsilon", "k_neighbors")
+        known = ("backend", "n_jobs", "distance_backend", "epsilon", "k_neighbors", "metric")
         problems = unknown_key_problems(spec, known, "execution")
         kwargs = {key: spec[key] for key in known if key in spec}
         built = None

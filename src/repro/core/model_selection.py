@@ -154,7 +154,8 @@ class SilhouetteSelector:
         for value in self.parameter_values:
             estimator = self.estimator.clone(**{self.parameter_name: value})
             estimator.fit(X, constraints=constraints, seed_labels=seed_labels)
-            scores.append(silhouette_score(X, estimator.labels_))
+            metric = estimator.get_params().get("metric", "euclidean") or "euclidean"
+            scores.append(silhouette_score(X, estimator.labels_, metric=metric))
             estimators.append(estimator)
         best_index = int(np.argmax(scores))
         self.scores_ = scores

@@ -308,10 +308,12 @@ def build_neighbor_graph(
         precomputed or non-Euclidean metrics require an exact tier.
     """
     if metric != "euclidean":
+        from repro.core.distance_backend import EXACT_DISTANCE_BACKENDS
+
         raise ValueError(
             f"distance_backend='neighbors' supports metric='euclidean' only "
             f"(KD-tree index), got metric={metric!r}; use an exact distance "
-            f"backend (dense/blockwise/memmap) for this metric"
+            f"backend ({'/'.join(EXACT_DISTANCE_BACKENDS)}) for this metric"
         )
     X = check_array_2d(X)
     X = np.ascontiguousarray(X, dtype=np.float64)
@@ -364,10 +366,27 @@ def sparse_mst_edges(graph: csr_matrix) -> np.ndarray:
     connected components' smallest-index representatives with ``inf``
     edges — exactly how the dense pipeline represents unreachable merges
     (their condensed-tree density level is ``1/inf = 0``).
+
+    A *complete* stored graph (every off-diagonal pair present — the
+    exhaustive ``k >= n`` regime) is densified and routed through the
+    dense Prim kernel itself, so tied edge weights are emitted in
+    exactly the dense pipeline's discovery order.  Kruskal and Prim
+    agree on the weight multiset but not on which tied edges they pick,
+    and FOSC's condensed tree is sensitive to that order (a tie can
+    decide whether a small component reaches ``min_cluster_size``
+    before it is absorbed); delegating makes the exhaustive-regime
+    labels bit-identical to the dense tiers by construction.
     """
     n = graph.shape[0]
     if n <= 1:
         return np.empty((0, 3), dtype=np.float64)
+    if graph.nnz == n * (n - 1):
+        from repro.clustering.kernels import minimum_spanning_tree_vectorized
+
+        # toarray() reproduces the dense mutual-reachability matrix
+        # entry-for-entry: every off-diagonal entry is stored (explicit
+        # zeros included) and the absent diagonal densifies to 0.0.
+        return minimum_spanning_tree_vectorized(graph.toarray())
     adjusted = graph.copy()
     adjusted.data = np.where(adjusted.data == 0.0, _ZERO_WEIGHT, adjusted.data)
     forest = _csgraph_mst(adjusted).tocoo()

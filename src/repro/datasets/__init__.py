@@ -14,6 +14,8 @@ rationale), plus loaders that pick up the real CSV files when available.
   analogues.
 * :mod:`repro.datasets.aloi` — the ALOI-k5-like collection.
 * :mod:`repro.datasets.loaders` — CSV loading of real data when present.
+* :mod:`repro.datasets.text` — sparse TF-IDF text blobs (cosine) and
+  precomputed distance/similarity loading.
 * :mod:`repro.datasets.registry` — name → factory lookup used by the
   experiment harness.
 """
@@ -34,6 +36,7 @@ from repro.datasets.uci_like import (
 )
 from repro.datasets.aloi import make_aloi_k5_like, make_aloi_collection
 from repro.datasets.loaders import load_csv_dataset, load_real_dataset
+from repro.datasets.text import make_text_blobs, load_precomputed_dataset
 from repro.datasets.registry import DATASET_NAMES, get_dataset, get_dataset_collection
 
 __all__ = [
@@ -51,6 +54,8 @@ __all__ = [
     "make_aloi_collection",
     "load_csv_dataset",
     "load_real_dataset",
+    "make_text_blobs",
+    "load_precomputed_dataset",
     "DATASET_NAMES",
     "get_dataset",
     "get_dataset_collection",

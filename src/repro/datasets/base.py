@@ -5,8 +5,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 import numpy as np
+from scipy import sparse
 
 from repro.utils.validation import check_array_2d, check_labels
+
+#: Metrics a :class:`Dataset` may carry (the experiment-facing subset of
+#: :data:`repro.clustering.distances.PAIRWISE_METRICS`).
+DATASET_METRICS = ("euclidean", "cosine", "precomputed")
 
 
 @dataclass
@@ -18,11 +23,17 @@ class Dataset:
     name:
         Human-readable identifier (e.g. ``"iris-like"``).
     X:
-        ``(n, d)`` feature matrix.
+        ``(n, d)`` feature matrix — dense ``ndarray`` or scipy CSR (text
+        workloads).  With ``metric="precomputed"`` this is the validated
+        ``(n, n)`` distance matrix itself.
     y:
         ``(n,)`` ground-truth class labels (integers ``0..c-1``).
     description:
         Free-form provenance note (what the generator mimics, seed, ...).
+    metric:
+        Distance metric the experiments should evaluate this data set
+        under: ``"euclidean"`` (default), ``"cosine"``, or
+        ``"precomputed"``.
     """
 
     name: str
@@ -30,10 +41,28 @@ class Dataset:
     y: np.ndarray
     description: str = ""
     meta: dict = field(default_factory=dict)
+    metric: str = "euclidean"
 
     def __post_init__(self) -> None:
-        self.X = check_array_2d(self.X, name=f"{self.name}.X")
+        if self.metric not in DATASET_METRICS:
+            raise ValueError(
+                f"{self.name}.metric must be one of {DATASET_METRICS}, "
+                f"got {self.metric!r}"
+            )
+        if self.metric == "precomputed":
+            # The matrix is the distances; validated directly because a
+            # legitimate precomputed matrix may contain +inf (unreachable
+            # pairs), which check_array_2d rejects.
+            from repro.clustering.distances import validate_precomputed_distances
+
+            self.X = validate_precomputed_distances(self.X, name=f"{self.name}.X")
+        else:
+            self.X = check_array_2d(self.X, name=f"{self.name}.X")
         self.y = check_labels(self.y, self.X.shape[0], name=f"{self.name}.y")
+
+    @property
+    def is_sparse(self) -> bool:
+        return sparse.issparse(self.X)
 
     @property
     def n_samples(self) -> int:
@@ -53,11 +82,30 @@ class Dataset:
         classes, counts = np.unique(self.y, return_counts=True)
         return {int(c): int(n) for c, n in zip(classes, counts)}
 
+    def with_metric(self, metric: str) -> "Dataset":
+        """Return a copy evaluated under ``metric`` (same data, new contract)."""
+        if metric == self.metric:
+            return self
+        return Dataset(
+            name=self.name,
+            X=self.X,
+            y=self.y.copy(),
+            description=self.description,
+            meta=dict(self.meta),
+            metric=metric,
+        )
+
     def standardized(self) -> "Dataset":
         """Return a copy with zero-mean, unit-variance features.
 
         Constant features are left untouched (divided by 1) to avoid NaNs.
+        Undefined for sparse matrices (centering densifies) and for
+        precomputed distances (there are no features to scale).
         """
+        if self.metric == "precomputed":
+            raise ValueError(f"{self.name}: cannot standardize a precomputed distance matrix")
+        if self.is_sparse:
+            raise ValueError(f"{self.name}: cannot standardize a sparse matrix without densifying")
         mean = self.X.mean(axis=0)
         std = self.X.std(axis=0)
         std = np.where(std == 0.0, 1.0, std)
@@ -67,21 +115,32 @@ class Dataset:
             y=self.y.copy(),
             description=self.description,
             meta=dict(self.meta, standardized=True),
+            metric=self.metric,
         )
 
     def subsample(self, indices: np.ndarray, *, name: str | None = None) -> "Dataset":
-        """Return the data set restricted to ``indices`` (labels re-used as is)."""
+        """Return the data set restricted to ``indices`` (labels re-used as is).
+
+        A precomputed data set is sliced on both axes so the result is
+        again a square distance matrix over the kept objects.
+        """
         indices = np.asarray(indices, dtype=np.intp)
+        if self.metric == "precomputed":
+            X = self.X[np.ix_(indices, indices)]
+        else:
+            X = self.X[indices]
         return Dataset(
             name=name or f"{self.name}[subset]",
-            X=self.X[indices],
+            X=X,
             y=self.y[indices],
             description=self.description,
             meta=dict(self.meta),
+            metric=self.metric,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"Dataset(name={self.name!r}, n_samples={self.n_samples}, "
-            f"n_features={self.n_features}, n_classes={self.n_classes})"
+            f"n_features={self.n_features}, n_classes={self.n_classes}, "
+            f"metric={self.metric!r})"
         )

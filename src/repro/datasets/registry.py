@@ -16,6 +16,7 @@ from typing import Callable
 from repro.datasets.aloi import make_aloi_collection, make_aloi_k5_like
 from repro.datasets.base import Dataset
 from repro.datasets.loaders import DEFAULT_DATA_DIR, load_real_dataset
+from repro.datasets.text import make_text_blobs
 from repro.datasets.uci_like import (
     make_ecoli_like,
     make_ionosphere_like,
@@ -32,10 +33,12 @@ _SINGLE_FACTORIES: dict[str, Callable[..., Dataset]] = {
     "ecoli": make_ecoli_like,
     "zyeast": make_zyeast_like,
     "aloi": make_aloi_k5_like,
+    "text": make_text_blobs,
 }
 
-#: Canonical data-set names in the order the paper's tables use.
-DATASET_NAMES = ("ALOI", "Iris", "Wine", "Ionosphere", "Ecoli", "Zyeast")
+#: Canonical data-set names in the order the paper's tables use, plus the
+#: synthetic text corpus ("Text": sparse TF-IDF blobs, cosine metric).
+DATASET_NAMES = ("ALOI", "Iris", "Wine", "Ionosphere", "Ecoli", "Zyeast", "Text")
 
 
 def _normalise(name: str) -> str:
@@ -48,6 +51,7 @@ def get_dataset(
     random_state: RandomStateLike = 0,
     data_dir: str | Path = DEFAULT_DATA_DIR,
     prefer_real: bool = True,
+    metric: str | None = None,
 ) -> Dataset:
     """Return a single data set by (paper) name.
 
@@ -63,6 +67,10 @@ def get_dataset(
         Directory searched for a real CSV (``<name>.csv``).
     prefer_real:
         If true (default), a real CSV takes precedence over the analogue.
+    metric:
+        Override the data set's evaluation metric (``"euclidean"`` or
+        ``"cosine"``); ``None`` keeps the data set's own default
+        (euclidean for the UCI-style sets, cosine for ``"Text"``).
     """
     key = _normalise(name)
     if key not in _SINGLE_FACTORIES:
@@ -72,8 +80,11 @@ def get_dataset(
     if prefer_real:
         real = load_real_dataset(key, data_dir=data_dir)
         if real is not None:
-            return real
-    return _SINGLE_FACTORIES[key](random_state=random_state)
+            return real.with_metric(metric) if metric is not None else real
+    dataset = _SINGLE_FACTORIES[key](random_state=random_state)
+    if metric is not None:
+        dataset = dataset.with_metric(metric)
+    return dataset
 
 
 def get_dataset_collection(
@@ -81,14 +92,19 @@ def get_dataset_collection(
     *,
     n_datasets: int = 100,
     random_state: RandomStateLike = 0,
+    metric: str | None = None,
 ) -> list[Dataset]:
     """Return a collection of data sets by name.
 
     ``"ALOI"`` yields ``n_datasets`` ALOI-k5-like data sets (the paper uses
     100); any other name yields a singleton list with that data set, so the
-    experiment drivers can treat every data source uniformly.
+    experiment drivers can treat every data source uniformly.  ``metric``
+    overrides the evaluation metric of every returned data set.
     """
     key = _normalise(name)
     if key == "aloi":
-        return make_aloi_collection(n_datasets, random_state=random_state)
-    return [get_dataset(name, random_state=random_state)]
+        collection = make_aloi_collection(n_datasets, random_state=random_state)
+        if metric is not None:
+            collection = [dataset.with_metric(metric) for dataset in collection]
+        return collection
+    return [get_dataset(name, random_state=random_state, metric=metric)]

@@ -19,8 +19,15 @@ from repro.utils.cache import cached_pairwise_distances
 from repro.utils.validation import check_array_2d, check_labels, unique_labels
 
 
-def _validated(X: np.ndarray, labels: Sequence[int] | np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    X = check_array_2d(X)
+def _validated(
+    X: np.ndarray, labels: Sequence[int] | np.ndarray, *, metric: str = "euclidean"
+) -> tuple[np.ndarray, np.ndarray]:
+    if metric == "precomputed":
+        from repro.clustering.distances import validate_precomputed_distances
+
+        X = validate_precomputed_distances(X)
+    else:
+        X = check_array_2d(X)
     labels = check_labels(labels, X.shape[0])
     return X, labels
 
@@ -29,6 +36,7 @@ def silhouette_samples(
     X: np.ndarray,
     labels: Sequence[int] | np.ndarray,
     *,
+    metric: str = "euclidean",
     distance_backend: str | None = None,
 ) -> np.ndarray:
     """Per-object silhouette width.
@@ -36,18 +44,25 @@ def silhouette_samples(
     Noise objects (label ``-1``) receive a silhouette of 0 and are excluded
     from the neighbour computations of other objects' clusters.
     Singleton clusters also receive 0, following the usual convention.
-    ``distance_backend`` selects the distance-matrix storage tier (see
-    :mod:`repro.core.distance_backend`); the per-object loop reads the
-    matrix row-wise, so memmap storage streams naturally.
+    ``metric`` selects the distance metric (``"precomputed"`` treats ``X``
+    as the distance matrix itself); ``distance_backend`` selects the
+    distance-matrix storage tier (see :mod:`repro.core.distance_backend`);
+    the per-object loop reads the matrix row-wise, so memmap storage
+    streams naturally.
     """
-    X, labels = _validated(X, labels)
+    X, labels = _validated(X, labels, metric=metric)
     clusters = unique_labels(labels)
     n_samples = X.shape[0]
     scores = np.zeros(n_samples, dtype=np.float64)
     if clusters.size < 2:
         return scores
 
-    distances = cached_pairwise_distances(X, distance_backend=distance_backend)
+    if metric == "precomputed":
+        distances = X
+    else:
+        distances = cached_pairwise_distances(
+            X, metric, distance_backend=distance_backend
+        )
     members_by_cluster = {int(c): np.flatnonzero(labels == c) for c in clusters}
 
     for index in range(n_samples):
@@ -75,19 +90,21 @@ def silhouette_score(
     X: np.ndarray,
     labels: Sequence[int] | np.ndarray,
     *,
+    metric: str = "euclidean",
     distance_backend: str | None = None,
 ) -> float:
     """Mean silhouette width over non-noise objects.
 
     Returns 0 when fewer than two clusters are present (the measure is
     undefined there; 0 keeps parameter sweeps well behaved).
-    ``distance_backend`` selects the distance-matrix storage tier.
+    ``metric`` selects the distance metric (``"precomputed"`` = ``X`` is
+    the distance matrix); ``distance_backend`` the storage tier.
     """
-    X, labels = _validated(X, labels)
+    X, labels = _validated(X, labels, metric=metric)
     clusters = unique_labels(labels)
     if clusters.size < 2:
         return 0.0
-    scores = silhouette_samples(X, labels, distance_backend=distance_backend)
+    scores = silhouette_samples(X, labels, metric=metric, distance_backend=distance_backend)
     mask = labels >= 0
     if not np.any(mask):
         return 0.0

@@ -89,8 +89,18 @@ def trial_config_fingerprint(config: "ExperimentConfig") -> str:
 
 
 def dataset_fingerprint(dataset: "Dataset") -> str:
-    """Content fingerprint of a data set (name, features and labels)."""
+    """Content fingerprint of a data set (name, features, labels, metric).
+
+    The metric joins the fingerprint only when it is not the historical
+    Euclidean default, so every pre-existing euclidean artifact keeps its
+    key.  A ``metric="precomputed"`` data set is content-addressed through
+    its matrix bytes — change one entry of a user-supplied matrix and every
+    trial fingerprint changes with it (no stale artifact can be served).
+    """
     parts = f"{dataset.name}|{array_fingerprint(dataset.X)}|{array_fingerprint(dataset.y)}"
+    metric = getattr(dataset, "metric", "euclidean")
+    if metric != "euclidean":
+        parts += f"|metric={metric}"
     return hashlib.sha256(parts.encode("utf-8")).hexdigest()
 
 

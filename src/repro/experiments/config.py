@@ -87,6 +87,12 @@ class ExperimentConfig:
         Neighbour-graph radius and out-degree for the ``neighbors`` tier
         (``None`` defers to ``REPRO_NEIGHBOR_EPSILON`` /
         ``REPRO_NEIGHBOR_K``); ignored by the exact tiers.
+    metric:
+        Distance metric every resolved data set is evaluated under
+        (``"euclidean"``, ``"cosine"`` or ``None``).  ``None`` keeps each
+        data set's own default (euclidean for the UCI-style sets, cosine
+        for ``"Text"``).  Non-Euclidean metrics become part of the trial
+        artifact fingerprint, so cosine trials never shadow euclidean ones.
     """
 
     n_trials: int = 50
@@ -105,6 +111,7 @@ class ExperimentConfig:
     distance_backend: str | None = None
     epsilon: float | None = None
     k_neighbors: int | None = None
+    metric: str | None = None
 
     def with_overrides(self, **overrides) -> "ExperimentConfig":
         """Return a copy with the given fields replaced."""
@@ -117,11 +124,12 @@ class ExperimentConfig:
         distance_backend: str | None = None,
         epsilon: float | None = None,
         k_neighbors: int | None = None,
+        metric: str | None = None,
     ) -> "ExperimentConfig":
         """Copy with the execution engine overridden where arguments are given."""
         if (
             backend is None and n_jobs is None and distance_backend is None
-            and epsilon is None and k_neighbors is None
+            and epsilon is None and k_neighbors is None and metric is None
         ):
             return self
         return replace(
@@ -133,6 +141,7 @@ class ExperimentConfig:
             ),
             epsilon=epsilon if epsilon is not None else self.epsilon,
             k_neighbors=k_neighbors if k_neighbors is not None else self.k_neighbors,
+            metric=metric if metric is not None else self.metric,
         )
 
     def execution_spec(self) -> ExecutionSpec:
@@ -141,6 +150,7 @@ class ExperimentConfig:
             backend=self.backend, n_jobs=self.n_jobs,
             distance_backend=self.distance_backend,
             epsilon=self.epsilon, k_neighbors=self.k_neighbors,
+            metric=self.metric,
         )
 
 

@@ -64,6 +64,7 @@ def load_bench_panels(bench_dir: str | os.PathLike[str]) -> list[dict]:
             _panel_scale,
             _panel_fleet,
             _panel_online,
+            _panel_text,
         ):
             panel = builder(record, path.name)
             if panel is not None:
@@ -171,6 +172,39 @@ def _panel_online(record: dict, filename: str) -> dict | None:
     return {
         "title": f"Incremental CVCP speedup vs cold replay ({filename})",
         "unit": "x",
+        "note": note,
+        "rows": rows,
+    }
+
+
+def _panel_text(record: dict, filename: str) -> dict | None:
+    section = record.get("bench_text")
+    if not isinstance(section, dict) or not isinstance(section.get("timings"), dict):
+        return None
+    floors = section.get("floors", {})
+    rows = [
+        (f"{name.removesuffix('_s').replace('_', ' ')} (ms)", float(wall) * 1e3, None)
+        for name, wall in sorted(section["timings"].items())
+    ]
+    quality = section.get("quality", {})
+    if isinstance(quality, dict) and "ari" in quality:
+        rows.append(("planted-topic ARI", float(quality["ari"]), floors.get("ari")))
+    memory = section.get("memory", {})
+    if isinstance(memory, dict) and "ratio" in memory:
+        rows.append(("dense/CSR peak-memory ratio", float(memory["ratio"]), floors.get("memory_ratio")))
+    if not rows:
+        return None
+    settings = section.get("settings", {})
+    note = ""
+    if isinstance(settings, dict) and settings:
+        note = (
+            f"{settings.get('n_documents', '?')} docs x "
+            f"{settings.get('vocabulary_size', '?')} terms, "
+            f"density {settings.get('density', 0.0):.3f}; parity asserted before timing"
+        )
+    return {
+        "title": f"Sparse text workload — cosine + precomputed ({filename})",
+        "unit": "",
         "note": note,
         "rows": rows,
     }

@@ -32,6 +32,15 @@ the execution engine and the artifact-store location:
     [artifacts]
     root = ".repro-artifacts"
 
+The optional ``[dataset]`` table selects the distance metric every resolved
+data set is evaluated under (``metric = "euclidean"|"cosine"|"precomputed"``)
+and — for ``"precomputed"`` — the ``path`` of an ``.npz`` archive carrying
+the user-supplied distance/similarity ``matrix`` and its ``labels``
+(``form = "distance"|"similarity"`` selects the orientation; relative paths
+resolve against the config file's directory).  The matrix is loaded and
+validated at config-validation time, so a malformed file is a listed
+problem — not a traceback deep inside the trial loop.
+
 The ``[oracle]`` table selects the supervision source for every trial (see
 :mod:`repro.constraints.oracles`); the ``robustness`` kind instead sweeps
 the noisy oracle's flip rate and accepts ``flip_rates``/``repair`` keys.
@@ -63,7 +72,9 @@ except ModuleNotFoundError:  # Python 3.10: stdlib tomllib arrived in 3.11
 
 from repro.constraints.oracles import ConstraintOracle, PerfectOracle, make_oracle, oracle_names
 from repro.core.executor import ExecutionSpec
+from repro.datasets.base import DATASET_METRICS, Dataset
 from repro.datasets.registry import DATASET_NAMES, get_dataset
+from repro.datasets.text import PRECOMPUTED_FORMS, load_precomputed_dataset
 from repro.experiments.ablation import (
     closure_leakage_ablation,
     fold_count_ablation,
@@ -165,6 +176,15 @@ class PipelineSpec:
     fleet: FleetSettings = FleetSettings()
     #: HTTP-layer knobs for ``repro serve`` (``[serve]`` table).
     serve: ServeSettings = ServeSettings()
+    #: Source file of a user-supplied distance/similarity matrix
+    #: (``[dataset] path``, resolved against the config directory).
+    dataset_path: Path | None = None
+    #: Orientation of ``dataset_path`` (``"distance"`` or ``"similarity"``).
+    dataset_form: str = "distance"
+    #: The loaded, validated precomputed data set — carried on the spec so
+    #: concurrent pipelines (the serve layer) never mutate a shared
+    #: registry.  Excluded from ``==`` (holds arrays).
+    precomputed: Dataset | None = field(default=None, compare=False, repr=False)
     source: Path | None = None
 
     def with_overrides(self, **overrides) -> "PipelineSpec":
@@ -189,7 +209,10 @@ class PipelineSpec:
         if self.kind not in ("ablation", "online"):
             experiment["scenario"] = self.scenario
         experiment["amounts"] = [float(amount) for amount in self.amounts]
-        experiment["datasets"] = list(self.datasets)
+        if self.dataset_path is None:
+            # A [dataset] path supplies the data itself; emitting the
+            # derived name would be rejected on the way back in.
+            experiment["datasets"] = list(self.datasets)
         experiment["seed"] = self.config.seed
         parameters: dict = {key: getattr(self.config, key) for key in _PARAMETER_KEYS}
         parameters["minpts_range"] = list(self.config.minpts_range)
@@ -201,7 +224,20 @@ class PipelineSpec:
             }
         elif self.kind != "ablation":
             spec["oracle"] = self.oracle.to_spec()
+        dataset_table: dict = {}
+        if self.config.metric is not None:
+            dataset_table["metric"] = self.config.metric
+        if self.dataset_path is not None:
+            dataset_table["path"] = str(self.dataset_path)
+            if self.dataset_form != "distance":
+                dataset_table["form"] = self.dataset_form
+            if self.precomputed is not None and self.precomputed.name != self.dataset_path.stem:
+                dataset_table["name"] = self.precomputed.name
+        if dataset_table:
+            spec["dataset"] = dataset_table
         execution = self.config.execution_spec().to_spec()
+        # The metric travels in [dataset], not [execution].
+        execution.pop("metric", None)
         if self.parallelize != "grid":
             execution["parallelize"] = self.parallelize
         if execution:
@@ -264,18 +300,21 @@ def _check_positive_int(problems: list[str], table: str, key: str, value: object
     return value
 
 
-def validate_pipeline_mapping(raw: dict, source: str) -> tuple[PipelineSpec | None, list[str]]:
+def validate_pipeline_mapping(
+    raw: dict, source: str, *, base_dir: Path | None = None
+) -> tuple[PipelineSpec | None, list[str]]:
     """Validate a parsed config mapping; returns ``(spec, problems)``.
 
     On any problem the spec is ``None`` and ``problems`` holds one message
     per issue found (unknown tables/keys, wrong types, out-of-range values,
-    unknown data sets, ...).
+    unknown data sets, ...).  ``base_dir`` anchors relative ``dataset.path``
+    values (the config file's directory for file-loaded specs).
     """
     problems: list[str] = []
 
     known_tables = (
-        "experiment", "parameters", "oracle", "execution", "artifacts", "report",
-        "stream", "fleet", "serve",
+        "experiment", "parameters", "dataset", "oracle", "execution", "artifacts",
+        "report", "stream", "fleet", "serve",
     )
     for table in raw:
         if table not in known_tables:
@@ -375,6 +414,69 @@ def validate_pipeline_mapping(raw: dict, source: str) -> tuple[PipelineSpec | No
                 problems.append(f"experiment.datasets: duplicate data set {value!r}")
             else:
                 datasets.append(canonical_by_lower[value.lower()])
+
+    dataset_table = raw.get("dataset", {})
+    metric: str | None = None
+    dataset_path: Path | None = None
+    dataset_form = "distance"
+    precomputed_dataset: Dataset | None = None
+    if isinstance(dataset_table, dict) and dataset_table:
+        known_dataset_keys = ("metric", "path", "form", "name")
+        for key in dataset_table:
+            if key not in known_dataset_keys:
+                problems.append(
+                    f"dataset.{key}: unknown key (expected {', '.join(known_dataset_keys)})"
+                )
+        if "metric" in dataset_table:
+            metric = _check_enum(
+                problems, "dataset", "metric", dataset_table["metric"], DATASET_METRICS
+            )
+        if "form" in dataset_table:
+            dataset_form = (
+                _check_enum(problems, "dataset", "form", dataset_table["form"], PRECOMPUTED_FORMS)
+                or "distance"
+            )
+        raw_path = dataset_table.get("path")
+        if raw_path is not None and (not isinstance(raw_path, str) or not raw_path):
+            problems.append(f"dataset.path: must be a non-empty path string, got {raw_path!r}")
+            raw_path = None
+        dataset_name = dataset_table.get("name")
+        if dataset_name is not None and (
+            not isinstance(dataset_name, str) or not _NAME_PATTERN.match(dataset_name)
+        ):
+            problems.append(f"dataset.name: must be letters/digits/._-, got {dataset_name!r}")
+            dataset_name = None
+        if metric == "precomputed" and "path" not in dataset_table:
+            problems.append(
+                'dataset.path: required when dataset.metric = "precomputed"'
+                " (the .npz archive supplying the matrix and labels)"
+            )
+        if "path" in dataset_table and metric != "precomputed":
+            problems.append(
+                'dataset.path: only meaningful with dataset.metric = "precomputed";'
+                " remove the key or set the metric"
+            )
+            raw_path = None
+        for key in ("form", "name"):
+            if key in dataset_table and "path" not in dataset_table:
+                problems.append(
+                    f"dataset.{key}: only meaningful together with dataset.path; remove the key"
+                )
+        if "path" in dataset_table and "datasets" in experiment:
+            problems.append(
+                "experiment.datasets: not configurable when dataset.path supplies"
+                " the data; remove the key"
+            )
+        if raw_path is not None and metric == "precomputed":
+            dataset_path = Path(raw_path)
+            if not dataset_path.is_absolute() and base_dir is not None:
+                dataset_path = base_dir / dataset_path
+            try:
+                precomputed_dataset = load_precomputed_dataset(
+                    dataset_path, form=dataset_form, name=dataset_name
+                )
+            except (OSError, ValueError, KeyError) as exc:
+                problems.append(f"dataset.path: {exc}")
 
     parameters = raw.get("parameters", {})
     overrides: dict[str, object] = {}
@@ -513,6 +615,36 @@ def validate_pipeline_mapping(raw: dict, source: str) -> tuple[PipelineSpec | No
                 "distance matrix); use an exact tier (dense, blockwise, memmap)"
             )
 
+    # Non-Euclidean metrics have the same shape of incompatibilities:
+    # MPCKMeans learns per-cluster Euclidean metrics, and the neighbors
+    # tier's KD-tree indexes Euclidean space only.  Report them as config
+    # problems here, not runtime errors inside the trial loop.
+    if metric is not None and metric != "euclidean":
+        if algorithm == "mpck" and kind != "robustness":
+            problems.append(
+                f'dataset.metric: algorithm = "mpck" learns per-cluster Euclidean'
+                f" metrics and cannot run under metric = {metric!r};"
+                ' use algorithm = "fosc"'
+            )
+        if kind == "robustness":
+            problems.append(
+                f'dataset.metric: kind = "robustness" sweeps every algorithm,'
+                f" including MPCKMeans, which needs Euclidean geometry;"
+                f" metric = {metric!r} is not supported"
+            )
+        if execution_spec.distance_backend == "neighbors":
+            problems.append(
+                f'dataset.metric: distance_backend = "neighbors" supports'
+                f' metric = "euclidean" only (KD-tree index), got {metric!r};'
+                " use an exact tier (dense, blockwise, memmap)"
+            )
+    if metric == "precomputed" and kind in ("comparison", "correlation"):
+        problems.append(
+            f"dataset.metric: kind = {kind!r} resolves data sets through the"
+            ' registry; a precomputed matrix drives kinds "curves", "trials",'
+            ' "ablation" or "online"'
+        )
+
     artifacts = raw.get("artifacts", {})
     artifacts_root = ".repro-artifacts"
     if isinstance(artifacts, dict):
@@ -587,12 +719,16 @@ def validate_pipeline_mapping(raw: dict, source: str) -> tuple[PipelineSpec | No
         config = config.with_overrides(label_fractions=tuple(amounts))
     else:
         config = config.with_overrides(constraint_fractions=tuple(amounts))
+    if precomputed_dataset is not None:
+        datasets = [precomputed_dataset.name]
+        config = config.with_overrides(datasets=tuple(datasets))
     config = config.with_execution(
         backend=execution_spec.backend or "serial",
         n_jobs=execution_spec.n_jobs,
         distance_backend=execution_spec.distance_backend,
         epsilon=execution_spec.epsilon,
         k_neighbors=execution_spec.k_neighbors,
+        metric=metric,
     )
 
     spec = PipelineSpec(
@@ -612,21 +748,27 @@ def validate_pipeline_mapping(raw: dict, source: str) -> tuple[PipelineSpec | No
         stream=stream_spec,
         fleet=fleet_settings,
         serve=serve_settings,
+        dataset_path=dataset_path,
+        dataset_form=dataset_form,
+        precomputed=precomputed_dataset,
         source=None,
     )
     return spec, []
 
 
-def pipeline_spec_from_mapping(raw: Mapping, *, source: str = "<mapping>") -> PipelineSpec:
+def pipeline_spec_from_mapping(
+    raw: Mapping, *, source: str = "<mapping>", base_dir: Path | None = None
+) -> PipelineSpec:
     """Validate an in-memory config mapping into a :class:`PipelineSpec`.
 
     The programmatic twin of :func:`load_pipeline_spec` — the serve layer
     and :func:`repro.api.load_spec` feed it mappings that never lived in
     a file.  Raises :class:`ConfigError` listing every problem.
+    ``base_dir`` anchors relative ``dataset.path`` values.
     """
     if not isinstance(raw, Mapping):
         raise ConfigError(source, [f"top level must be a mapping/object, got {type(raw).__name__}"])
-    spec, problems = validate_pipeline_mapping(dict(raw), source)
+    spec, problems = validate_pipeline_mapping(dict(raw), source, base_dir=base_dir)
     if spec is None:
         raise ConfigError(source, problems)
     return spec
@@ -649,7 +791,7 @@ def load_pipeline_spec(path: str | Path) -> PipelineSpec:
         # Raised by both parsers for bytes that are not valid UTF-8 and is
         # not a JSONDecodeError/TOMLDecodeError subclass.
         raise ConfigError(str(path), [f"config is not valid UTF-8: {exc}"]) from exc
-    spec, problems = validate_pipeline_mapping(raw, str(path))
+    spec, problems = validate_pipeline_mapping(raw, str(path), base_dir=path.parent)
     if spec is None:
         raise ConfigError(str(path), problems)
     return spec.with_overrides(source=path)
@@ -668,6 +810,18 @@ def validate_pipeline_file(path: str | Path) -> list[str]:
 
 def _format_amount(amount: float) -> str:
     return f"{amount:g}"
+
+
+def _resolve_dataset(spec: PipelineSpec, name: str) -> Dataset:
+    """One data set for a kind that resolves its inputs locally.
+
+    A spec carrying a precomputed matrix *is* the data set (there is
+    exactly one); everything else goes through the registry with the
+    spec's metric override.
+    """
+    if spec.precomputed is not None:
+        return spec.precomputed
+    return get_dataset(name, random_state=spec.config.seed, metric=spec.config.metric)
 
 
 def _comparison_summary_row(row) -> dict:
@@ -728,7 +882,7 @@ def _run_curves(spec: PipelineSpec, store: ArtifactStore) -> tuple[list[tuple[st
     sections: list[tuple[str, str]] = []
     results: dict = {}
     for name in spec.datasets:
-        dataset = get_dataset(name, random_state=spec.config.seed)
+        dataset = _resolve_dataset(spec, name)
         per_amount: dict = {}
         for amount in spec.amounts:
             curves = parameter_curves(
@@ -758,7 +912,7 @@ def _run_trials_kind(spec: PipelineSpec, store: ArtifactStore) -> tuple[list[tup
     results: dict = {}
     headers = ["trial", "cvcp_value", "cvcp_quality", "expected_quality", "correlation"]
     for name in spec.datasets:
-        dataset = get_dataset(name, random_state=spec.config.seed)
+        dataset = _resolve_dataset(spec, name)
         per_amount: dict = {}
         for amount in spec.amounts:
             trials = run_trials(
@@ -788,7 +942,7 @@ def _run_ablation(spec: PipelineSpec, store: ArtifactStore) -> tuple[list[tuple[
     sections: list[tuple[str, str]] = []
     results: dict = {}
     for name in spec.datasets:
-        dataset = get_dataset(name, random_state=spec.config.seed)
+        dataset = _resolve_dataset(spec, name)
         per_amount: dict = {}
         for amount in spec.amounts:
             ablations = [
@@ -863,7 +1017,7 @@ def _run_online(spec: PipelineSpec, store: ArtifactStore) -> tuple[list[tuple[st
     results: dict = {}
     headers = ["step", "queries", "selected", "changed", "agrees_with_final"]
     for name in spec.datasets:
-        dataset = get_dataset(name, random_state=spec.config.seed)
+        dataset = _resolve_dataset(spec, name)
         per_amount: dict = {}
         for amount in spec.amounts:
             replay = replay_constraint_stream(

@@ -167,12 +167,30 @@ def algorithm_factory(
     config: ExperimentConfig,
     *,
     random_state: RandomStateLike = None,
+    metric: str | None = None,
 ) -> BaseClusterer:
-    """Instantiate the template estimator for an algorithm name."""
+    """Instantiate the template estimator for an algorithm name.
+
+    ``metric`` is the data set's effective distance metric (``None`` =
+    euclidean); it flows into the density-based template and is rejected
+    for combinations that cannot honour it (MPCKMeans learns Euclidean
+    metrics; the ``neighbors`` tier is a Euclidean KD-tree index).
+    """
     seed = int(check_random_state(random_state).integers(0, 2**31 - 1))
+    metric = metric or "euclidean"
     if algorithm == "fosc":
+        if metric != "euclidean" and resolve_distance_backend(config.distance_backend) == "neighbors":
+            from repro.core.distance_backend import EXACT_DISTANCE_BACKENDS
+
+            raise ValueError(
+                f"distance_backend='neighbors' supports metric='euclidean' "
+                f"only (KD-tree index), got metric={metric!r}; use an exact "
+                f"distance backend ({'/'.join(EXACT_DISTANCE_BACKENDS)}) "
+                f"for this metric"
+            )
         return FOSCOpticsDend(
-            min_pts=5, random_state=seed, distance_backend=config.distance_backend,
+            min_pts=5, random_state=seed, metric=metric,
+            distance_backend=config.distance_backend,
             epsilon=config.epsilon, k_neighbors=config.k_neighbors,
         )
     if algorithm == "mpck":
@@ -182,6 +200,12 @@ def algorithm_factory(
                 "metric-learning updates need every pairwise entry, not a "
                 "sparse neighbour graph; use an exact distance backend "
                 "(dense, blockwise, memmap) for algorithm='mpck'"
+            )
+        if metric != "euclidean":
+            raise ValueError(
+                f"algorithm='mpck' learns per-cluster Euclidean metrics and "
+                f"cannot run under metric={metric!r}; use algorithm='fosc' "
+                f"for cosine or precomputed workloads"
             )
         return MPCKMeans(
             n_clusters=3,
@@ -322,6 +346,11 @@ def run_trial(
     the interim cells are compacted away.
     """
     config = (config or default_config()).with_execution(backend=backend, n_jobs=n_jobs)
+    if config.metric is not None:
+        # The config-level metric override is applied to the data set itself
+        # so every downstream consumer — estimator construction, silhouette,
+        # the trial fingerprint — sees one consistent effective metric.
+        dataset = dataset.with_metric(config.metric)
     key: dict | None = None
     if store is not None and isinstance(random_state, (int, np.integer)):
         key = trial_artifact_key(
@@ -334,7 +363,7 @@ def run_trial(
     rng = check_random_state(random_state)
 
     side = make_side_information(dataset, scenario, amount, random_state=rng, oracle=oracle)
-    estimator = algorithm_factory(algorithm, config, random_state=rng)
+    estimator = algorithm_factory(algorithm, config, random_state=rng, metric=dataset.metric)
     values = parameter_values_for(algorithm, dataset, config)
 
     # Internal scores through CVCP (no refit: the refits per parameter value
@@ -390,7 +419,10 @@ def run_trial(
         if resolve_distance_backend(silhouette_backend) == "neighbors":
             silhouette_backend = "blockwise"
         silhouettes.append(
-            silhouette_score(dataset.X, model.labels_, distance_backend=silhouette_backend)
+            silhouette_score(
+                dataset.X, model.labels_, metric=dataset.metric,
+                distance_backend=silhouette_backend,
+            )
         )
         if cell_store is not None:
             payload = {"external": external_scores[-1], "silhouette": silhouettes[-1]}
@@ -500,6 +532,10 @@ def run_trials(
             f"parallelize must be 'grid' or 'trials', got {parallelize!r}"
         )
     config = (config or default_config()).with_execution(backend=backend, n_jobs=n_jobs)
+    if config.metric is not None:
+        # Applied here as well as in run_trial so the artifact keys computed
+        # for the trial-level pool match the keys run_trial itself derives.
+        dataset = dataset.with_metric(config.metric)
     rng = check_random_state(random_state)
     seeds = spawn_seeds(rng, n_trials)
 

@@ -46,6 +46,15 @@ def array_fingerprint(array: np.ndarray) -> str:
     C-order byte stream either way, so a view and its contiguous copy share
     a fingerprint.
     """
+    from scipy import sparse
+
+    if sparse.issparse(array):
+        matrix = array.tocsr()
+        digest = hashlib.blake2b(digest_size=16)
+        for part in (matrix.data, matrix.indices, matrix.indptr):
+            part = np.ascontiguousarray(part)
+            digest.update(part.view(np.uint8).data)
+        return f"csr:{matrix.shape}:{matrix.dtype.str}:{digest.hexdigest()}"
     array = np.asarray(array)
     digest = hashlib.blake2b(digest_size=16)
     if array.flags.c_contiguous:
@@ -195,10 +204,13 @@ def cached_pairwise_distances(
     sequence; all tiers return bit-identical values.  The input is
     fingerprinted as-is — a cache hit never converts or copies ``X``.
     """
+    from scipy import sparse
+
     from repro.core.distance_backend import get_distance_backend
 
     backend = get_distance_backend(distance_backend)
-    X = np.asarray(X)
+    if not sparse.issparse(X):
+        X = np.asarray(X)
     key = (array_fingerprint(X), metric, backend.name)
 
     def compute() -> np.ndarray:

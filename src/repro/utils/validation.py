@@ -11,8 +11,25 @@ def check_array_2d(X: object, *, name: str = "X", dtype: type = np.float64) -> n
     """Validate that ``X`` is a non-empty 2-d numeric array and return it.
 
     Accepts anything :func:`numpy.asarray` accepts; raises ``ValueError``
-    with a descriptive message otherwise.
+    with a descriptive message otherwise.  scipy sparse matrices pass
+    through as CSR ``float64`` without densifying — only their stored
+    values are checked for finiteness.
     """
+    try:
+        from scipy import sparse
+    except ImportError:  # pragma: no cover - scipy is a hard dependency
+        sparse = None
+    if sparse is not None and sparse.issparse(X):
+        matrix = X.tocsr()
+        if matrix.dtype != np.float64:
+            matrix = matrix.astype(np.float64)
+        if matrix.ndim != 2:
+            raise ValueError(f"{name} must be a 2-d array, got shape {matrix.shape}")
+        if matrix.shape[0] == 0 or matrix.shape[1] == 0:
+            raise ValueError(f"{name} must not be empty, got shape {matrix.shape}")
+        if not np.all(np.isfinite(matrix.data)):
+            raise ValueError(f"{name} contains NaN or infinite values")
+        return matrix
     array = np.asarray(X, dtype=dtype)
     if array.ndim != 2:
         raise ValueError(f"{name} must be a 2-d array, got shape {array.shape}")

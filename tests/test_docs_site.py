@@ -325,6 +325,53 @@ class TestSchemaDocsInSync:
         assert "`k_neighbors`" in config_page
         assert '"neighbors"' in config_page
 
+    def test_text_page_covers_the_metric_contract(self):
+        from repro.clustering.distances import SPARSE_METRICS
+        from repro.datasets.base import DATASET_METRICS
+
+        text_page = (DOCS_DIR / "text.md").read_text(encoding="utf-8")
+        for metric in DATASET_METRICS:
+            assert f"`{metric}`" in text_page, f"metric {metric} undocumented"
+        for metric in SPARSE_METRICS:
+            assert f"`{metric}`" in text_page, f"sparse metric {metric} undocumented"
+        assert "make_text_blobs" in text_page
+        assert "similarity_to_distance" in text_page
+        assert "never densified" in text_page
+        assert "content-addressed" in text_page
+        assert "BENCH_text.json" in text_page
+        assert "repro bench text" in text_page
+
+    def test_dataset_config_table_is_documented(self):
+        config_page = (DOCS_DIR / "config.md").read_text(encoding="utf-8")
+        assert "## `[dataset]`" in config_page
+        for key in ("metric", "path", "form", "name"):
+            assert f"`{key}`" in config_page
+        assert "similarity" in config_page
+        assert '"precomputed"' in config_page
+
+    def test_text_cli_surfaces_are_documented(self):
+        cli_page = (DOCS_DIR / "cli.md").read_text(encoding="utf-8")
+        assert "## `repro bench text`" in cli_page
+        assert "--metric" in cli_page
+        assert "BENCH_text.json" in cli_page
+        # The datasets-list example shows the metric column and the corpus.
+        assert "metric" in cli_page
+        assert "Text" in cli_page
+
+    def test_determinism_page_covers_metric_keying(self):
+        determinism_page = (DOCS_DIR / "determinism.md").read_text(encoding="utf-8")
+        assert "metric" in determinism_page
+        assert "precomputed" in determinism_page
+        assert "csr:" in determinism_page
+        assert "metric-matrix" in determinism_page
+
+    def test_architecture_page_covers_the_metric_layer(self):
+        architecture_page = (DOCS_DIR / "architecture.md").read_text(encoding="utf-8")
+        assert "repro.clustering.distances" in architecture_page
+        assert "cosine" in architecture_page
+        assert "CSR" in architecture_page
+        assert "Dataset.metric" in architecture_page
+
     def test_example_configs_referenced_from_docs_exist(self):
         text = "\n".join(page.read_text(encoding="utf-8") for page in _docs_pages())
         for example in re.findall(r"examples/[A-Za-z0-9_.-]+\.(?:toml|json)", text):

@@ -210,6 +210,34 @@ class TestServeHTTP:
         assert any("kind" in problem for problem in problems)
         assert any("bogus" in problem for problem in problems)
 
+    def test_precomputed_matrix_defects_are_400_with_problems(self, server, tmp_path):
+        """A bad [dataset] matrix fails at submit time, listing the defect."""
+        import numpy as np
+
+        _, client = server
+        path = tmp_path / "lopsided.npz"
+        np.savez(path, matrix=np.zeros((4, 5)), labels=np.arange(4))
+        bad = tiny_spec(name="serve-precomputed")
+        bad["experiment"]["kind"] = "trials"
+        del bad["experiment"]["datasets"]
+        bad["dataset"] = {"metric": "precomputed", "path": str(path)}
+        with pytest.raises(ServeError) as excinfo:
+            client.submit(bad)
+        assert excinfo.value.status == 400
+        problems = excinfo.value.payload["problems"]
+        assert any("dataset.path" in p and "square" in p for p in problems)
+
+    def test_metric_backend_conflict_is_400(self, server):
+        _, client = server
+        bad = tiny_spec(name="serve-metric-conflict")
+        bad["experiment"]["kind"] = "trials"
+        bad["dataset"] = {"metric": "cosine"}
+        bad["execution"] = {"distance_backend": "neighbors"}
+        with pytest.raises(ServeError) as excinfo:
+            client.submit(bad)
+        assert excinfo.value.status == 400
+        assert any("neighbors" in p for p in excinfo.value.payload["problems"])
+
     def test_concurrent_identical_jobs_compute_once_with_identical_bytes(
         self, server, tmp_path
     ):
